@@ -1,0 +1,62 @@
+// Command mofkad runs a standalone Mofka broker over TCP, exposing the
+// event-streaming RPCs (create_topic, push, pull, commit) through the
+// Mercury wire protocol. It is the deployment mode for consumers that run
+// on different nodes than the instrumented workflow.
+//
+// Usage:
+//
+//	mofkad -listen 127.0.0.1:7777 [-config bedrock.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"taskprov/internal/mochi/bedrock"
+	"taskprov/internal/mochi/mercury"
+	"taskprov/internal/mofka"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7777", "TCP listen address")
+	configPath := flag.String("config", "", "optional bedrock JSON config (its address overrides -listen)")
+	flag.Parse()
+
+	cfg := bedrock.DefaultConfig(*listen)
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg, err = bedrock.ParseConfig(data)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if mercury.IsLocal(cfg.Address) {
+		fatal(fmt.Errorf("mofkad needs a TCP address, got %q", cfg.Address))
+	}
+	dep, err := bedrock.Deploy(cfg, nil)
+	if err != nil {
+		fatal(err)
+	}
+	defer dep.Shutdown()
+
+	broker := mofka.NewBroker(dep)
+	broker.RegisterRPCs(dep.Endpoint())
+	fmt.Printf("mofkad: serving on %s (yokan dbs: %v, warabi targets: %v)\n",
+		dep.Addr(), cfg.Yokan.Databases, cfg.Warabi.Targets)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("mofkad: shutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mofkad:", err)
+	os.Exit(1)
+}

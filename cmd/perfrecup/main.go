@@ -1,0 +1,470 @@
+// Command perfrecup analyzes run directories written by cmd/taskprov: it
+// loads the heterogeneous artifacts (Darshan binary logs, Mofka event
+// topics, metadata) into uniform views and prints the paper's tables and
+// figures.
+//
+// Usage:
+//
+//	perfrecup table1   runs/xgboost-0001 [more run dirs...]
+//	perfrecup phases   runs/ip-* runs/xgb-*      (Fig. 3)
+//	perfrecup iotimeline runs/ip-0001            (Fig. 4)
+//	perfrecup comm     runs/resnet152-0001       (Fig. 5)
+//	perfrecup tasks    runs/xgboost-0001         (Fig. 6)
+//	perfrecup warnings runs/xgboost-0001         (Fig. 7)
+//	perfrecup lineage  runs/xgboost-0001 -key "('getitem__get_categories-...', 63)"  (Fig. 8)
+//	perfrecup export   runs/xgboost-0001 -view executions > executions.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"taskprov/internal/core"
+	"taskprov/internal/darshan"
+	"taskprov/internal/perfrecup"
+	"taskprov/internal/perfrecup/frame"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	args := os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "phases":
+		err = cmdPhases(args)
+	case "iotimeline":
+		err = cmdIOTimeline(args)
+	case "comm":
+		err = cmdComm(args)
+	case "tasks":
+		err = cmdTasks(args)
+	case "warnings":
+		err = cmdWarnings(args)
+	case "lineage":
+		err = cmdLineage(args)
+	case "export":
+		err = cmdExport(args)
+	case "window":
+		err = cmdWindow(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "darshan":
+		err = cmdDarshan(args)
+	case "svg":
+		err = cmdSVG(args)
+	case "correlate":
+		err = cmdCorrelate(args)
+	case "heatmap":
+		err = cmdHeatmap(args)
+	case "metadata":
+		err = cmdMetadata(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfrecup:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: perfrecup <table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|metadata> <run dir...> [flags]`)
+}
+
+func load(dir string) (*core.RunArtifacts, error) { return core.LoadDir(dir) }
+
+func cmdTable1(dirs []string) error {
+	type agg struct {
+		graphs, tasks, files       int
+		opsLo, opsHi, comLo, comHi int64
+		runs                       int
+	}
+	byWorkflow := map[string]*agg{}
+	var order []string
+	for _, dir := range dirs {
+		art, err := load(dir)
+		if err != nil {
+			return err
+		}
+		name := art.Meta.Workflow
+		a, ok := byWorkflow[name]
+		if !ok {
+			a = &agg{opsLo: 1 << 62, comLo: 1 << 62}
+			byWorkflow[name] = a
+			order = append(order, name)
+		}
+		graphs, err := art.TaskGraphs()
+		if err != nil {
+			return err
+		}
+		tasks, err := art.DistinctTasks()
+		if err != nil {
+			return err
+		}
+		comms, err := art.TotalCommunications()
+		if err != nil {
+			return err
+		}
+		ops := art.TotalIOOps()
+		a.graphs, a.tasks, a.files = graphs, tasks, art.DistinctFiles()
+		if ops < a.opsLo {
+			a.opsLo = ops
+		}
+		if ops > a.opsHi {
+			a.opsHi = ops
+		}
+		if comms < a.comLo {
+			a.comLo = comms
+		}
+		if comms > a.comHi {
+			a.comHi = comms
+		}
+		a.runs++
+	}
+	fmt.Println("Workflows        Task graphs  Distinct tasks  Distinct files  I/O operation  Communications  (runs)")
+	for _, name := range order {
+		a := byWorkflow[name]
+		fmt.Printf("%-16s %-12d %-15d %-15d %d-%-10d %d-%-10d %d\n",
+			name, a.graphs, a.tasks, a.files, a.opsLo, a.opsHi, a.comLo, a.comHi, a.runs)
+	}
+	return nil
+}
+
+func cmdPhases(dirs []string) error {
+	byWorkflow := map[string][]perfrecup.PhaseBreakdown{}
+	var order []string
+	for _, dir := range dirs {
+		art, err := load(dir)
+		if err != nil {
+			return err
+		}
+		b, err := perfrecup.Phases(art)
+		if err != nil {
+			return err
+		}
+		if _, ok := byWorkflow[b.Workflow]; !ok {
+			order = append(order, b.Workflow)
+		}
+		byWorkflow[b.Workflow] = append(byWorkflow[b.Workflow], b)
+	}
+	sort.Strings(order)
+	var stats []perfrecup.PhaseStats
+	for _, name := range order {
+		stats = append(stats, perfrecup.AggregatePhases(byWorkflow[name]))
+	}
+	fmt.Print(perfrecup.RenderPhaseStats(stats))
+	return nil
+}
+
+func cmdIOTimeline(args []string) error {
+	fs := flag.NewFlagSet("iotimeline", flag.ExitOnError)
+	bins := fs.Int("bins", 120, "time bins")
+	small := fs.Int64("small", 1<<20, "bytes below which accesses render lowercase")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	out, err := perfrecup.IOTimeline(art, *bins, *small)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdComm(args []string) error {
+	art, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	buckets, err := perfrecup.CommScatter(art)
+	if err != nil {
+		return err
+	}
+	fmt.Print(perfrecup.RenderCommScatter(buckets))
+	return nil
+}
+
+func cmdTasks(args []string) error {
+	fs := flag.NewFlagSet("tasks", flag.ExitOnError)
+	top := fs.Int("top", 15, "longest tasks to list")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	pc, err := perfrecup.ParallelCoords(art)
+	if err != nil {
+		return err
+	}
+	fmt.Print(perfrecup.RenderParallelCoords(pc, *top))
+	return nil
+}
+
+func cmdWarnings(args []string) error {
+	fs := flag.NewFlagSet("warnings", flag.ExitOnError)
+	bin := fs.Float64("bin", 100, "histogram bin width in seconds")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	h, err := perfrecup.WarningHistogram(art, *bin)
+	if err != nil {
+		return err
+	}
+	fmt.Print(perfrecup.RenderWarningHistogram(h, *bin))
+	return nil
+}
+
+func cmdLineage(args []string) error {
+	fs := flag.NewFlagSet("lineage", flag.ExitOnError)
+	key := fs.String("key", "", "task key (exact)")
+	prefix := fs.String("prefix", "", "pick the longest task with this prefix")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	k := *key
+	if k == "" && *prefix != "" {
+		pc, err := perfrecup.ParallelCoords(art)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < pc.NRows(); i++ {
+			if pc.Col("prefix").Str(i) == *prefix {
+				k = pc.Col("key").Str(i)
+				break
+			}
+		}
+	}
+	if k == "" {
+		return fmt.Errorf("need -key or -prefix")
+	}
+	l, err := perfrecup.BuildLineage(art, k)
+	if err != nil {
+		return err
+	}
+	fmt.Print(l.Render())
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	view := fs.String("view", "executions", "executions|transitions|transfers|warnings|dxt|posix|taskmeta|heartbeats|taskio")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	var f *frame.Frame
+	switch *view {
+	case "executions":
+		f, err = perfrecup.ExecutionsView(art)
+	case "transitions":
+		f, err = perfrecup.TransitionsView(art)
+	case "transfers":
+		f, err = perfrecup.TransfersView(art)
+	case "warnings":
+		f, err = perfrecup.WarningsView(art)
+	case "dxt":
+		f, err = perfrecup.DXTView(art)
+	case "posix":
+		f, err = perfrecup.PosixView(art)
+	case "taskmeta":
+		f, err = perfrecup.TaskMetaView(art)
+	case "heartbeats":
+		f, err = perfrecup.HeartbeatsView(art)
+	case "taskio":
+		f, err = perfrecup.TaskIOSummary(art)
+	default:
+		return fmt.Errorf("unknown view %q", *view)
+	}
+	if err != nil {
+		return err
+	}
+	return f.WriteCSV(os.Stdout)
+}
+
+// cmdWindow zooms into a time period of one run (§IV-D "zooming through a
+// specific time period").
+func cmdWindow(args []string) error {
+	fs := flag.NewFlagSet("window", flag.ExitOnError)
+	from := fs.Float64("from", 0, "window start (seconds)")
+	to := fs.Float64("to", 0, "window end (seconds; 0 = end of run)")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	end := *to
+	if end <= 0 {
+		end = art.Meta.WallSeconds
+	}
+	w, err := perfrecup.Window(art, *from, end)
+	if err != nil {
+		return err
+	}
+	fmt.Print(w.Render())
+	return nil
+}
+
+// cmdCompare contrasts the scheduling of two runs (§IV-D "whether tasks
+// were scheduled in the same order or not").
+func cmdCompare(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("compare needs two run directories")
+	}
+	a, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	b, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	cmp, err := perfrecup.CompareSchedules(a, b)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cmp.Render())
+	return nil
+}
+
+// cmdDarshan prints the darshan-parser-style job summary of a run's logs.
+func cmdDarshan(args []string) error {
+	fs := flag.NewFlagSet("darshan", flag.ExitOnError)
+	top := fs.Int("top", 10, "files to list")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Print(darshan.Summarize(art.DarshanLogs, *top).Render())
+	return nil
+}
+
+// cmdSVG writes a figure as an SVG file.
+func cmdSVG(args []string) error {
+	fs := flag.NewFlagSet("svg", flag.ExitOnError)
+	fig := fs.String("figure", "iotimeline", "iotimeline|comm|warnings|phases")
+	out := fs.String("o", "figure.svg", "output file")
+	bin := fs.Float64("bin", 100, "warning histogram bin (seconds)")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	var svg string
+	switch *fig {
+	case "iotimeline":
+		svg, err = perfrecup.IOTimelineSVG(art)
+	case "comm":
+		svg, err = perfrecup.CommScatterSVG(art)
+	case "warnings":
+		h, herr := perfrecup.WarningHistogram(art, *bin)
+		if herr != nil {
+			return herr
+		}
+		svg = perfrecup.WarningHistogramSVG(h, *bin)
+	case "phases":
+		b, perr := perfrecup.Phases(art)
+		if perr != nil {
+			return perr
+		}
+		svg = perfrecup.PhaseBarsSVG([]perfrecup.PhaseStats{perfrecup.AggregatePhases([]perfrecup.PhaseBreakdown{b})})
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", *out, len(svg))
+	return nil
+}
+
+// cmdCorrelate prints the warning/long-task and duration/size correlations.
+func cmdCorrelate(args []string) error {
+	fs := flag.NewFlagSet("correlate", flag.ExitOnError)
+	bin := fs.Float64("bin", 50, "time bin width (seconds)")
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	rep, err := perfrecup.Correlate(art, *bin)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	return nil
+}
+
+// cmdHeatmap prints the merged Darshan HEATMAP module across workers.
+func cmdHeatmap(args []string) error {
+	art, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	var hs []*darshan.Heatmap
+	for _, l := range art.DarshanLogs {
+		hs = append(hs, l.Heatmap)
+	}
+	merged := darshan.MergeHeatmaps(hs)
+	if merged == nil {
+		return fmt.Errorf("no heatmap data in %s", args[0])
+	}
+	fmt.Print(merged.Render())
+	return nil
+}
+
+// cmdMetadata prints the run's layered provenance chart (Fig. 1).
+func cmdMetadata(args []string) error {
+	art, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(art.Meta.RenderChart())
+	return nil
+}

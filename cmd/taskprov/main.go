@@ -1,0 +1,109 @@
+// Command taskprov runs the paper's workflows under the full
+// characterization stack (Dask-model WMS + Darshan + Mofka) and writes the
+// collected artifacts — Darshan binary logs, Mofka event topics as JSONL,
+// and the provenance-chart metadata — to a run directory that cmd/perfrecup
+// analyzes.
+//
+// Usage:
+//
+//	taskprov run -workflow xgboost -seed 1 -out runs/xgb-0001
+//	taskprov run -workflow imageprocessing -runs 10 -out runs/ip
+//	taskprov list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"taskprov/internal/core"
+	"taskprov/internal/perfrecup"
+	"taskprov/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "list":
+		err = cmdList()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taskprov:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov list`)
+}
+
+func cmdList() error {
+	for _, name := range workloads.Names() {
+		t := workloads.TableI[name]
+		fmt.Printf("%-16s paper: %d graphs, %d tasks, %d files, io %d-%d, comms %d-%d, %d runs\n",
+			name, t.TaskGraphs, t.DistinctTasks, t.DistinctFiles,
+			t.IOOpsLow, t.IOOpsHigh, t.CommsLow, t.CommsHigh, workloads.Runs(name))
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workflow := fs.String("workflow", "", "workflow name (see `taskprov list`)")
+	seed := fs.Uint64("seed", 1, "base run seed")
+	runs := fs.Int("runs", 1, "number of runs (seeds seed..seed+runs-1)")
+	out := fs.String("out", "runs", "output directory (one subdirectory per run)")
+	noDXT := fs.Bool("no-dxt", false, "disable Darshan DXT tracing")
+	noCollect := fs.Bool("no-collect", false, "disable all instrumentation (overhead ablation)")
+	noSteal := fs.Bool("no-steal", false, "disable work stealing (scheduling ablation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *workflow == "" {
+		return fmt.Errorf("missing -workflow")
+	}
+	for r := 0; r < *runs; r++ {
+		s := *seed + uint64(r)
+		wf, err := workloads.New(*workflow)
+		if err != nil {
+			return err
+		}
+		jobID := fmt.Sprintf("%s-%04d", *workflow, s)
+		cfg := workloads.DefaultSession(*workflow, jobID, s)
+		cfg.DarshanDXT = !*noDXT
+		cfg.DisableCollection = *noCollect
+		if *noSteal {
+			cfg.Dask.WorkStealing = false
+		}
+		art, err := core.Run(cfg, wf)
+		if err != nil {
+			return fmt.Errorf("run %s: %w", jobID, err)
+		}
+		dir := filepath.Join(*out, jobID)
+		if !*noCollect {
+			if err := art.WriteDir(dir); err != nil {
+				return fmt.Errorf("write %s: %w", dir, err)
+			}
+		}
+		row := fmt.Sprintf("%s wall=%.1fs", jobID, art.Meta.WallSeconds)
+		if !*noCollect {
+			if r, err := perfrecup.RenderTableIRow(art); err == nil {
+				row = fmt.Sprintf("%s wall=%.1fs -> %s", r, art.Meta.WallSeconds, dir)
+			}
+		}
+		fmt.Println(row)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCmdList(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdRunWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workflow run")
+	}
+	dir := t.TempDir()
+	err := cmdRun([]string{
+		"-workflow", "imageprocessing", "-seed", "2", "-runs", "1", "-out", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDir := filepath.Join(dir, "imageprocessing-0002")
+	for _, p := range []string{
+		"metadata.json",
+		filepath.Join("darshan", "rank0000.darshan"),
+		filepath.Join("mofka", "task-executions.jsonl"),
+		filepath.Join("mofka", "transfers.jsonl"),
+	} {
+		if _, err := os.Stat(filepath.Join(runDir, p)); err != nil {
+			t.Fatalf("missing artifact %s: %v", p, err)
+		}
+	}
+}
+
+func TestCmdRunValidation(t *testing.T) {
+	if err := cmdRun([]string{"-out", t.TempDir()}); err == nil {
+		t.Fatal("missing -workflow accepted")
+	}
+	if err := cmdRun([]string{"-workflow", "ghost", "-out", t.TempDir()}); err == nil {
+		t.Fatal("unknown workflow accepted")
+	}
+}
+
+func TestCmdRunAblationFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workflow run")
+	}
+	dir := t.TempDir()
+	// -no-collect runs without writing artifacts and must not error.
+	err := cmdRun([]string{
+		"-workflow", "imageprocessing", "-seed", "3", "-out", dir, "-no-collect",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Fatalf("no-collect run wrote artifacts: %v", entries)
+	}
+}

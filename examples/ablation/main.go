@@ -1,0 +1,69 @@
+// Ablation example: quantify two of the framework's design trade-offs on
+// the ImageProcessing workflow — work stealing (balance vs extra transfers)
+// and DXT buffer sizing (trace completeness vs memory) — using nothing but
+// the public run API and PERFRECUP views.
+//
+//	go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskprov/internal/core"
+	"taskprov/internal/perfrecup"
+	"taskprov/internal/workloads"
+)
+
+func main() {
+	fmt.Println("work stealing ablation (imageprocessing, seed 2):")
+	for _, stealing := range []bool{true, false} {
+		wf, err := workloads.New("imageprocessing")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := workloads.DefaultSession("imageprocessing", fmt.Sprintf("ab-steal-%v", stealing), 2)
+		cfg.Dask.WorkStealing = stealing
+		art, err := core.Run(cfg, wf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		comms, err := art.TotalCommunications()
+		if err != nil {
+			log.Fatal(err)
+		}
+		util, err := perfrecup.WorkerUtilizationView(art)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var busiest, idlest float64 = 0, 1e18
+		for i := 0; i < util.NRows(); i++ {
+			v := util.Col("mean_executing").Float(i)
+			if v > busiest {
+				busiest = v
+			}
+			if v < idlest {
+				idlest = v
+			}
+		}
+		fmt.Printf("  stealing=%-5v wall=%.1fs transfers=%-5d worker mean-executing spread=[%.2f, %.2f]\n",
+			stealing, art.Meta.WallSeconds, comms, idlest, busiest)
+	}
+
+	fmt.Println("\nDXT buffer ablation (resnet152, seed 2) — the footnote-9 effect:")
+	for _, buf := range []int{64, 287, 4096} {
+		wf, err := workloads.New("resnet152")
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := workloads.DefaultSession("resnet152", fmt.Sprintf("ab-dxt-%d", buf), 2)
+		cfg.DXTBufferSegments = buf
+		art, err := core.Run(cfg, wf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  buffer=%-5d observed=%-5d actual=%-5d complete=%.0f%%\n",
+			buf, art.TotalIOOps(), art.TotalPosixOps(),
+			100*float64(art.TotalIOOps())/float64(art.TotalPosixOps()))
+	}
+}

@@ -1,0 +1,87 @@
+package taskprov_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taskprov"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart describes: run a paper workflow, persist, reload, analyze.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workflow run")
+	}
+	wf, err := taskprov.NewWorkflow("imageprocessing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := taskprov.DefaultSession("imageprocessing", "facade-001", 13)
+	art, err := taskprov.Run(cfg, wf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "facade-001")
+	if err := art.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := taskprov.LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ph, err := taskprov.Phases(loaded)
+	if err != nil || ph.TotalSeconds <= 0 {
+		t.Fatalf("phases = %+v, %v", ph, err)
+	}
+	stats := taskprov.AggregatePhases([]taskprov.PhaseBreakdown{ph})
+	if stats.Runs != 1 || stats.NormTotal != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+
+	timeline, err := taskprov.IOTimeline(loaded, 60, 1<<20)
+	if err != nil || !strings.Contains(timeline, "tid") {
+		t.Fatalf("timeline: %v", err)
+	}
+	buckets, err := taskprov.CommScatter(loaded)
+	if err != nil || len(buckets) == 0 {
+		t.Fatalf("comm scatter: %v", err)
+	}
+	pc, err := taskprov.ParallelCoords(loaded)
+	if err != nil || pc.NRows() == 0 {
+		t.Fatalf("parallel coords: %v", err)
+	}
+	hist, err := taskprov.WarningHistogram(loaded, 10)
+	if err != nil {
+		t.Fatalf("warnings: %v", err)
+	}
+	_ = hist
+
+	key := pc.Col("key").Str(0)
+	lin, err := taskprov.Lineage(loaded, key)
+	if err != nil || lin.Worker == "" {
+		t.Fatalf("lineage: %v", err)
+	}
+	win, err := taskprov.Window(loaded, 0, ph.TotalSeconds)
+	if err != nil || win.TasksActive == 0 {
+		t.Fatalf("window: %+v, %v", win, err)
+	}
+	cmp, err := taskprov.CompareSchedules(loaded, loaded)
+	if err != nil || cmp.SameWorker != 1 {
+		t.Fatalf("compare: %+v, %v", cmp, err)
+	}
+	rep, err := taskprov.Correlate(loaded, 10)
+	if err != nil || len(rep.LongTaskPrefixes) == 0 {
+		t.Fatalf("correlate: %+v, %v", rep, err)
+	}
+	att, err := taskprov.AttributeIOToTasks(loaded)
+	if err != nil || att.NRows() == 0 {
+		t.Fatalf("attribute: %v", err)
+	}
+	if len(taskprov.WorkflowNames()) != 3 {
+		t.Fatal("workflow names")
+	}
+}

@@ -1,0 +1,3 @@
+module taskprov
+
+go 1.22

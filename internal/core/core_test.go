@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taskprov/internal/darshan"
+	"taskprov/internal/dask"
+	"taskprov/internal/mochi/mercury"
+	"taskprov/internal/mofka"
+	"taskprov/internal/pfs"
+	"taskprov/internal/platform"
+	"taskprov/internal/posixio"
+	"taskprov/internal/sim"
+)
+
+// toyWorkflow: stage a few input files, read them in tasks, reduce.
+type toyWorkflow struct {
+	files int
+}
+
+func (t *toyWorkflow) Name() string { return "toy" }
+
+func (t *toyWorkflow) Stage(env *Env) {
+	for i := 0; i < t.files; i++ {
+		env.PFS.CreateNow(fmt.Sprintf("/lus/in/f%03d", i), 8<<20)
+	}
+}
+
+func (t *toyWorkflow) Run(p *sim.Proc, cl *dask.Client, env *Env) {
+	g := dask.NewGraph(1)
+	var deps []dask.TaskKey
+	for i := 0; i < t.files; i++ {
+		i := i
+		key := dask.TaskKey(fmt.Sprintf("load-%03d", i))
+		deps = append(deps, key)
+		g.Add(&dask.TaskSpec{
+			Key:        key,
+			OutputSize: 8 << 20,
+			Run: func(ctx *dask.TaskContext) {
+				f, err := ctx.Open(fmt.Sprintf("/lus/in/f%03d", i), posixio.RDONLY)
+				if err != nil {
+					panic(err)
+				}
+				f.Read(ctx.Proc(), 8<<20)
+				f.Close(ctx.Proc())
+				ctx.Compute(sim.Milliseconds(50))
+			},
+		})
+	}
+	g.Add(&dask.TaskSpec{Key: "reduce-000", Deps: deps, EstDuration: sim.Milliseconds(30), OutputSize: 64})
+	cl.SubmitAndWait(p, g)
+}
+
+func testSession(seed uint64) SessionConfig {
+	cfg := DefaultSessionConfig("job-test", seed)
+	cfg.Platform.NodeSpeedCV = 0
+	cfg.PFS.InterferenceLoad = 0
+	cfg.Dask.WorkersPerNode = 2
+	cfg.Dask.ThreadsPerWorker = 2
+	return cfg
+}
+
+func TestRunProducesArtifacts(t *testing.T) {
+	art, err := Run(testSession(1), &toyWorkflow{files: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.WallTime <= 0 {
+		t.Fatal("no wall time")
+	}
+	tasks, err := art.DistinctTasks()
+	if err != nil || tasks != 13 {
+		t.Fatalf("tasks = %d, %v", tasks, err)
+	}
+	graphs, err := art.TaskGraphs()
+	if err != nil || graphs != 1 {
+		t.Fatalf("graphs = %d, %v", graphs, err)
+	}
+	if files := art.DistinctFiles(); files != 12 {
+		t.Fatalf("files = %d", files)
+	}
+	if ops := art.TotalIOOps(); ops != 12 {
+		t.Fatalf("io ops = %d, want 12 reads", ops)
+	}
+	if len(art.DarshanLogs) != 4 {
+		t.Fatalf("darshan logs = %d (one per worker)", len(art.DarshanLogs))
+	}
+	// Provenance metadata layers are present.
+	m := art.Meta
+	if m.Platform.Nodes != 2 || m.Storage.OSTs == 0 || m.Software.OS == "" {
+		t.Fatalf("metadata incomplete: %+v", m)
+	}
+	if m.Job.Script == "" || m.DaskConfig.HeartbeatIntervalSec <= 0 {
+		t.Fatalf("job/dask layers incomplete: %+v", m)
+	}
+	if m.WallSeconds <= 0 {
+		t.Fatal("wall seconds missing")
+	}
+}
+
+func TestEventStreamsDecode(t *testing.T) {
+	art, err := Run(testSession(2), &toyWorkflow{files: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := DrainTopic(art.Broker, TopicTransitions)
+	if err != nil || len(trans) == 0 {
+		t.Fatalf("transitions = %d, %v", len(trans), err)
+	}
+	for _, m := range trans {
+		tr := ParseTransition(m)
+		if tr.Key == "" || tr.To == "" || tr.Location == "" {
+			t.Fatalf("bad transition: %+v", tr)
+		}
+	}
+	execs, err := DrainTopic(art.Broker, TopicExecutions)
+	if err != nil || len(execs) != 9 {
+		t.Fatalf("executions = %d, %v", len(execs), err)
+	}
+	for _, m := range execs {
+		e := ParseExecution(m)
+		if e.ThreadID == 0 || e.Stop <= e.Start || e.Hostname == "" {
+			t.Fatalf("bad execution: %+v", e)
+		}
+	}
+	metas, err := DrainTopic(art.Broker, TopicTaskMeta)
+	if err != nil || len(metas) != 9 {
+		t.Fatalf("task metas = %d, %v", len(metas), err)
+	}
+	tm := ParseTaskMeta(metas[len(metas)-1])
+	if tm.Key == "" || tm.Prefix == "" {
+		t.Fatalf("bad task meta: %+v", tm)
+	}
+}
+
+func TestRoundTripEncodeParse(t *testing.T) {
+	tr := dask.Transition{Key: "k-1", From: "waiting", To: "processing", Stimulus: "ready", Location: "scheduler", At: sim.Seconds(1.5)}
+	if got := ParseTransition(TransitionEvent(tr)); got != tr {
+		t.Fatalf("transition round trip: %+v vs %+v", got, tr)
+	}
+	ex := dask.TaskExecution{Key: "k-1", Worker: "tcp://n:40000", Hostname: "n", ThreadID: 1001, Start: sim.Seconds(1), Stop: sim.Seconds(2), OutputSize: 77, GraphID: 3}
+	if got := ParseExecution(ExecutionEvent(ex)); got != ex {
+		t.Fatalf("execution round trip: %+v vs %+v", got, ex)
+	}
+	tf := dask.Transfer{Key: "k-1", From: "a", To: "b", Bytes: 123, Start: sim.Seconds(1), Stop: sim.Seconds(2), SameNode: true}
+	if got := ParseTransfer(TransferEvent(tf)); got != tf {
+		t.Fatalf("transfer round trip: %+v vs %+v", got, tf)
+	}
+	w := dask.Warning{Kind: dask.WarnGC, Worker: "w", Hostname: "h", At: sim.Seconds(3), Duration: sim.Seconds(0.25), Message: "gc"}
+	if got := ParseWarning(WarningEvent(w)); got != w {
+		t.Fatalf("warning round trip: %+v vs %+v", got, w)
+	}
+	hb := dask.WorkerMetrics{Worker: "w", At: sim.Seconds(4), Memory: 5, Executing: 6, Ready: 7}
+	if got := ParseHeartbeat(HeartbeatEvent(hb)); got != hb {
+		t.Fatalf("heartbeat round trip: %+v vs %+v", got, hb)
+	}
+	st := dask.StealEvent{Key: "k", Victim: "v", Thief: "t", At: sim.Seconds(5)}
+	if got := ParseSteal(StealEventMeta(st)); got != st {
+		t.Fatalf("steal round trip: %+v vs %+v", got, st)
+	}
+}
+
+func TestDisableCollection(t *testing.T) {
+	cfg := testSession(3)
+	cfg.DisableCollection = true
+	art, err := Run(cfg, &toyWorkflow{files: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Collector != nil || len(art.DarshanLogs) != 0 {
+		t.Fatal("collection artifacts present while disabled")
+	}
+	if len(art.Broker.Topics()) != 0 {
+		t.Fatalf("topics = %v", art.Broker.Topics())
+	}
+	if art.WallTime <= 0 {
+		t.Fatal("workflow did not run")
+	}
+}
+
+func TestDeterministicArtifacts(t *testing.T) {
+	runOnce := func() (int64, float64) {
+		art, err := Run(testSession(7), &toyWorkflow{files: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comms, _ := art.TotalCommunications()
+		return comms, art.Meta.WallSeconds
+	}
+	c1, w1 := runOnce()
+	c2, w2 := runOnce()
+	if c1 != c2 || w1 != w2 {
+		t.Fatalf("same seed diverged: (%d, %v) vs (%d, %v)", c1, w1, c2, w2)
+	}
+}
+
+func TestWriteLoadDirRoundTrip(t *testing.T) {
+	art, err := Run(testSession(4), &toyWorkflow{files: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "run-001")
+	if err := art.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Files exist.
+	if _, err := os.Stat(filepath.Join(dir, "metadata.json")); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "darshan", "*.darshan")); len(m) != 4 {
+		t.Fatalf("darshan files = %v", m)
+	}
+
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.Workflow != "toy" || got.Meta.Seed != 4 {
+		t.Fatalf("meta = %+v", got.Meta)
+	}
+	if len(got.DarshanLogs) != len(art.DarshanLogs) {
+		t.Fatalf("darshan logs = %d", len(got.DarshanLogs))
+	}
+	origTasks, _ := art.DistinctTasks()
+	gotTasks, _ := got.DistinctTasks()
+	if origTasks != gotTasks {
+		t.Fatalf("tasks after reload: %d vs %d", gotTasks, origTasks)
+	}
+	origComms, _ := art.TotalCommunications()
+	gotComms, _ := got.TotalCommunications()
+	if origComms != gotComms {
+		t.Fatalf("comms after reload: %d vs %d", gotComms, origComms)
+	}
+	if got.TotalIOOps() != art.TotalIOOps() {
+		t.Fatalf("ops after reload: %d vs %d", got.TotalIOOps(), art.TotalIOOps())
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir loaded")
+	}
+}
+
+func TestCollectorCounts(t *testing.T) {
+	art, err := Run(testSession(5), &toyWorkflow{files: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Collector.EventCount(TopicExecutions) != 6 {
+		t.Fatalf("execution events = %d", art.Collector.EventCount(TopicExecutions))
+	}
+	if art.Collector.TotalEvents() < 20 {
+		t.Fatalf("total events = %d", art.Collector.TotalEvents())
+	}
+}
+
+// Guard against unused imports in refactors.
+var _ = platform.Polaris
+var _ = pfs.Lustre
+
+func TestInSituMonitor(t *testing.T) {
+	// Start the monitor BEFORE the run: it consumes events live as the
+	// producer flushes them, and after Stop has seen exactly what a
+	// post-mortem drain sees.
+	broker := mofka.NewStandaloneBroker()
+	mon, err := NewInSituMonitor(broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testSession(21)
+	art, err := RunOnBroker(cfg, &toyWorkflow{files: 10}, broker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon.Stop()
+	if got := mon.EventCount(TopicExecutions); got != 11 {
+		t.Fatalf("in-situ executions = %d, want 11", got)
+	}
+	post, err := DrainTopic(art.Broker, TopicTransitions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mon.EventCount(TopicTransitions); got != int64(len(post)) {
+		t.Fatalf("in-situ transitions = %d, post-mortem = %d", got, len(post))
+	}
+	key, dur := mon.LongestTask()
+	if key == "" || dur <= 0 {
+		t.Fatalf("longest task = %q, %v", key, dur)
+	}
+	if !strings.Contains(mon.Snapshot(), "task-executions") {
+		t.Fatalf("snapshot = %q", mon.Snapshot())
+	}
+}
+
+func TestRemoteCollectorOverTCP(t *testing.T) {
+	// A real mofkad-style broker behind TCP receives the provenance stream;
+	// analysis pulls it back over the same wire.
+	broker := mofka.NewStandaloneBroker()
+	ep := mercury.NewEndpoint("mofkad")
+	broker.RegisterRPCs(ep)
+	srv, err := mercury.Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := mercury.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	remote := mofka.NewRemote(cli)
+	rc, err := NewRemoteCollector(remote, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testSession(33)
+	cfg.DisableCollection = true // the remote collector replaces the local one
+	k := sim.NewKernel(cfg.Seed)
+	plat := platform.New(k, cfg.Platform)
+	fsys := pfs.New(k, cfg.PFS)
+	px := posixio.NewFS(fsys)
+	cluster := dask.NewCluster(k, plat, px, cfg.Dask, nil)
+	cluster.AddSchedulerPlugin(rc.SchedulerPlugin())
+	cluster.AddWorkerPlugin(rc.WorkerPlugin())
+	wf := &toyWorkflow{files: 9}
+	wf.Stage(&Env{Kernel: k, Platform: plat, PFS: fsys, FS: px, Cluster: cluster})
+	cluster.Start()
+	k.Go(func(p *sim.Proc) {
+		cl := cluster.Client()
+		cl.WaitForWorkers(p, len(cluster.Workers()))
+		wf.Run(p, cl, nil)
+		k.Stop()
+	})
+	k.Run()
+	rc.Flush()
+
+	// All executions arrived on the remote broker.
+	evs, err := remote.Pull(TopicExecutions, 0, 0, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs2, err := remote.Pull(TopicExecutions, 1, 0, 1000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(evs) + len(evs2); got != 10 {
+		t.Fatalf("remote executions = %d, want 10", got)
+	}
+	pushed, flushes := rc.Stats()
+	if pushed < 10 || flushes == 0 {
+		t.Fatalf("stats = %d pushed, %d flushes", pushed, flushes)
+	}
+}
+
+func TestSynthesizedLogs(t *testing.T) {
+	art, err := Run(testSession(41), &toyWorkflow{files: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := RenderSchedulerLog(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sched, "Receive graph 1 (7 tasks)") || !strings.Contains(sched, "Graph 1 complete") {
+		t.Fatalf("scheduler log:\n%s", sched)
+	}
+	workers, err := art.WorkerAddrs()
+	if err != nil || len(workers) == 0 {
+		t.Fatalf("workers = %v, %v", workers, err)
+	}
+	wl, err := RenderWorkerLog(art, workers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wl, "Start worker at "+workers[0]) {
+		t.Fatalf("worker log:\n%s", wl)
+	}
+	// WriteDir persists them.
+	dir := filepath.Join(t.TempDir(), "run")
+	if err := art.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "logs", "scheduler.log")); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := filepath.Glob(filepath.Join(dir, "logs", "worker-*.log"))
+	if len(m) != len(workers) {
+		t.Fatalf("worker logs = %d, want %d", len(m), len(workers))
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	art, err := Run(testSession(51), &toyWorkflow{files: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := art.Meta.RenderChart()
+	for _, want := range []string{
+		"hardware infrastructure", "system software & job configuration",
+		"application layer", "polaris-sim", "/lus/grand",
+		"distributed.yaml", "job script", "package: darshan",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOnlineIOTracer(t *testing.T) {
+	// The future-work mode: POSIX operations stream to Mofka live, while
+	// the wrapped Darshan runtime still builds its log.
+	broker := mofka.NewStandaloneBroker()
+	inner := darshan.NewRuntime(darshan.Config{JobID: "j", Rank: 0, Hostname: "n0", DXTEnabled: true})
+	tracer, err := NewOnlineIOTracer(broker, mofka.ProducerOptions{BatchSize: 4}, inner, 0, "n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := func(path string, off, n int64, s, e float64) posixio.OpRecord {
+		return posixio.OpRecord{Path: path, TID: 9, Offset: off, Bytes: n,
+			Start: sim.Seconds(s), End: sim.Seconds(e)}
+	}
+	tracer.OpenEvent(rec("/f", 0, 0, 0, 0.01), true)
+	tracer.ReadEvent(rec("/f", 0, 4096, 0.1, 0.2))
+	tracer.WriteEvent(rec("/f", 4096, 512, 0.3, 0.4))
+	tracer.CloseEvent(rec("/f", 0, 0, 0.5, 0.5))
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := DrainTopic(broker, TopicIOTrace)
+	if err != nil || len(metas) != 4 {
+		t.Fatalf("streamed events = %d, %v", len(metas), err)
+	}
+	// Ordering is per-partition only (round-robin partitioner), so check
+	// the multiset of operations and the identity fields.
+	got := map[string]int{}
+	for i, m := range metas {
+		got[str(m, "op")]++
+		if str(m, "hostname") != "n0" || uint64(num(m, "thread_id")) != 9 {
+			t.Fatalf("event %d identity wrong: %v", i, m)
+		}
+	}
+	for _, op := range []string{"create", "read", "write", "close"} {
+		if got[op] != 1 {
+			t.Fatalf("ops = %v", got)
+		}
+	}
+	// The wrapped Darshan runtime saw everything too.
+	log := inner.Snapshot()
+	if log.TotalOps() != 2 {
+		t.Fatalf("inner darshan ops = %d", log.TotalOps())
+	}
+	if fr, ok := log.Record("/f"); !ok || len(fr.DXT) != 2 {
+		t.Fatal("inner darshan DXT missing")
+	}
+}
+
+func TestOnlineIOTracerEndToEnd(t *testing.T) {
+	// A full instrumented run with the online tracer wrapping each worker's
+	// Darshan runtime: the io-trace topic must match the Darshan logs.
+	broker := mofka.NewStandaloneBroker()
+	cfg := testSession(61)
+	k := sim.NewKernel(cfg.Seed)
+	plat := platform.New(k, cfg.Platform)
+	fsys := pfs.New(k, cfg.PFS)
+	px := posixio.NewFS(fsys)
+	var runtimes []*darshan.Runtime
+	tracers := func(rank int, hostname string) posixio.Tracer {
+		rt := darshan.NewRuntime(darshan.Config{JobID: cfg.JobID, Rank: rank, Hostname: hostname, DXTEnabled: true})
+		runtimes = append(runtimes, rt)
+		online, err := NewOnlineIOTracer(broker, mofka.ProducerOptions{BatchSize: 8}, rt, rank, hostname)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onlineTracers = append(onlineTracers, online)
+		return online
+	}
+	onlineTracers = nil
+	cluster := dask.NewCluster(k, plat, px, cfg.Dask, tracers)
+	wf := &toyWorkflow{files: 8}
+	wf.Stage(&Env{Kernel: k, Platform: plat, PFS: fsys, FS: px, Cluster: cluster})
+	cluster.Start()
+	k.Go(func(p *sim.Proc) {
+		cl := cluster.Client()
+		cl.WaitForWorkers(p, len(cluster.Workers()))
+		wf.Run(p, cl, nil)
+		k.Stop()
+	})
+	k.Run()
+	for _, o := range onlineTracers {
+		if err := o.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	metas, err := DrainTopic(broker, TopicIOTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamedRW int
+	for _, m := range metas {
+		if op := str(m, "op"); op == "read" || op == "write" {
+			streamedRW++
+		}
+	}
+	var darshanRW int64
+	for _, rt := range runtimes {
+		_, r, w := rt.Totals()
+		darshanRW += r + w
+	}
+	if int64(streamedRW) != darshanRW {
+		t.Fatalf("streamed %d read/write events, darshan has %d", streamedRW, darshanRW)
+	}
+}
+
+var onlineTracers []*OnlineIOTracer

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The paper's job-layer provenance keeps the raw scheduler and worker logs
+// ("we keep the scheduler logs, which contain data about the
+// connection/disconnection of the clients and workers, information,
+// warnings, and eventual errors"). This file synthesizes those textual logs
+// from the structured event streams so a run directory carries them too —
+// the same lines a log-scraping pipeline (like the one behind Fig. 7) would
+// parse.
+
+type logLine struct {
+	at   float64
+	text string
+}
+
+func renderLines(lines []logLine) string {
+	sort.SliceStable(lines, func(i, j int) bool { return lines[i].at < lines[j].at })
+	var sb strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&sb, "%12.6f %s\n", l.at, l.text)
+	}
+	return sb.String()
+}
+
+// RenderSchedulerLog produces the scheduler's textual log: graph
+// submissions, task erred events, steals, and graph completions.
+func RenderSchedulerLog(art *RunArtifacts) (string, error) {
+	var lines []logLine
+	metas, err := DrainTopic(art.Broker, TopicTaskMeta)
+	if err != nil {
+		return "", err
+	}
+	graphSeen := map[int]bool{}
+	graphCount := map[int]int{}
+	graphAt := map[int]float64{}
+	for _, m := range metas {
+		tm := ParseTaskMeta(m)
+		graphCount[tm.GraphID]++
+		if !graphSeen[tm.GraphID] {
+			graphSeen[tm.GraphID] = true
+			graphAt[tm.GraphID] = tm.At.Seconds()
+		}
+	}
+	for id, at := range graphAt {
+		lines = append(lines, logLine{at, fmt.Sprintf(
+			"INFO  - Receive graph %d (%d tasks) from client", id, graphCount[id])})
+	}
+	trans, err := DrainTopic(art.Broker, TopicTransitions)
+	if err != nil {
+		return "", err
+	}
+	for _, m := range trans {
+		tr := ParseTransition(m)
+		if tr.Location != "scheduler" {
+			continue
+		}
+		switch {
+		case tr.To == "erred":
+			lines = append(lines, logLine{tr.At.Seconds(), fmt.Sprintf(
+				"ERROR - Task %s marked erred (%s)", tr.Key, tr.Stimulus)})
+		case tr.Stimulus == "retry":
+			lines = append(lines, logLine{tr.At.Seconds(), fmt.Sprintf(
+				"WARN  - Retrying task %s after failure", tr.Key)})
+		}
+	}
+	steals, err := DrainTopic(art.Broker, TopicSteals)
+	if err != nil {
+		return "", err
+	}
+	for _, m := range steals {
+		s := ParseSteal(m)
+		lines = append(lines, logLine{s.At.Seconds(), fmt.Sprintf(
+			"INFO  - Moving task %s from %s to %s (work stealing)", s.Key, s.Victim, s.Thief)})
+	}
+	graphs, err := DrainTopic(art.Broker, TopicGraphs)
+	if err != nil {
+		return "", err
+	}
+	for _, m := range graphs {
+		lines = append(lines, logLine{num(m, "at"), fmt.Sprintf(
+			"INFO  - Graph %d complete", int(num(m, "graph_id")))})
+	}
+	return renderLines(lines), nil
+}
+
+// RenderWorkerLog produces one worker's textual log: its warnings in the
+// exact phrasing Dask workers emit (the strings log-scrapers match on).
+func RenderWorkerLog(art *RunArtifacts, worker string) (string, error) {
+	var lines []logLine
+	warns, err := DrainTopic(art.Broker, TopicWarnings)
+	if err != nil {
+		return "", err
+	}
+	for _, m := range warns {
+		w := ParseWarning(m)
+		if w.Worker != worker {
+			continue
+		}
+		switch w.Kind {
+		case "unresponsive_event_loop":
+			lines = append(lines, logLine{w.At.Seconds(), fmt.Sprintf(
+				"WARN  - Event loop was unresponsive in Worker for %.2fs. This is often caused by long-running GIL-holding functions", w.Duration.Seconds())})
+		case "gc_collection":
+			lines = append(lines, logLine{w.At.Seconds(), fmt.Sprintf(
+				"WARN  - full garbage collection took %.0f ms", 1000*w.Duration.Seconds())})
+		default:
+			lines = append(lines, logLine{w.At.Seconds(), "WARN  - " + w.Message})
+		}
+	}
+	execs, err := DrainTopic(art.Broker, TopicExecutions)
+	if err != nil {
+		return "", err
+	}
+	n := 0
+	for _, m := range execs {
+		if str(m, "worker") == worker {
+			n++
+		}
+	}
+	lines = append(lines, logLine{0, fmt.Sprintf("INFO  - Start worker at %s", worker)})
+	out := renderLines(lines)
+	out += fmt.Sprintf("%12s INFO  - Worker executed %d tasks\n", "---", n)
+	return out, nil
+}
+
+// WorkerAddrs lists the worker addresses observed in the run.
+func (a *RunArtifacts) WorkerAddrs() ([]string, error) {
+	execs, err := DrainTopic(a.Broker, TopicExecutions)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for _, m := range execs {
+		set[str(m, "worker")] = true
+	}
+	hbs, err := DrainTopic(a.Broker, TopicHeartbeats)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range hbs {
+		set[str(m, "worker")] = true
+	}
+	var out []string
+	for w := range set {
+		if w != "" {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

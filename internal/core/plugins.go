@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"taskprov/internal/dask"
+	"taskprov/internal/mofka"
+	"taskprov/internal/sim"
+)
+
+// Collector owns the Mofka producers the provenance plugins publish
+// through. One Collector instruments one run; its plugins attach to the
+// dask.Cluster before Start.
+//
+// The paper's design goal — "track the detailed lineage and execution
+// history of individual tasks without perturbing the workflow system" — maps
+// to plugins that only serialize and enqueue; batching and persistence
+// happen inside Mofka.
+type Collector struct {
+	broker    *mofka.Broker
+	producers map[string]*mofka.Producer
+
+	// Counters for quick sanity checks and overhead ablations.
+	events map[string]int64
+}
+
+// NewCollector creates the topics (2 partitions each, as a small Mofka
+// deployment would) and producers on the given broker.
+func NewCollector(broker *mofka.Broker, opts mofka.ProducerOptions) (*Collector, error) {
+	c := &Collector{
+		broker:    broker,
+		producers: make(map[string]*mofka.Producer),
+		events:    make(map[string]int64),
+	}
+	for _, name := range AllTopics() {
+		t, err := broker.OpenOrCreateTopic(mofka.TopicConfig{Name: name, Partitions: 2})
+		if err != nil {
+			return nil, fmt.Errorf("core: create topic %s: %w", name, err)
+		}
+		c.producers[name] = t.NewProducer(opts)
+	}
+	return c, nil
+}
+
+// Broker returns the broker the collector publishes to.
+func (c *Collector) Broker() *mofka.Broker { return c.broker }
+
+// push publishes one event; failures panic because they indicate a broken
+// in-process pipeline, never a recoverable condition.
+func (c *Collector) push(topic string, m mofka.Metadata) {
+	c.events[topic]++
+	if err := c.producers[topic].Push(m, nil); err != nil {
+		panic(fmt.Sprintf("core: push to %s: %v", topic, err))
+	}
+}
+
+// Flush ships all pending producer batches (call at end of run).
+func (c *Collector) Flush() error {
+	for name, p := range c.producers {
+		if err := p.Flush(); err != nil {
+			return fmt.Errorf("core: flush %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// EventCount reports how many events were pushed to a topic.
+func (c *Collector) EventCount(topic string) int64 { return c.events[topic] }
+
+// TotalEvents reports the number of events pushed across all topics.
+func (c *Collector) TotalEvents() int64 {
+	var n int64
+	for _, v := range c.events {
+		n += v
+	}
+	return n
+}
+
+// SchedulerPlugin returns the dask.SchedulerPlugin that streams scheduler
+// events into Mofka.
+func (c *Collector) SchedulerPlugin() dask.SchedulerPlugin { return &schedPlugin{c} }
+
+// WorkerPlugin returns the dask.WorkerPlugin that streams worker events
+// into Mofka.
+func (c *Collector) WorkerPlugin() dask.WorkerPlugin { return &workerPlugin{c} }
+
+type schedPlugin struct{ c *Collector }
+
+func (p *schedPlugin) TaskAdded(m dask.TaskMeta) { p.c.push(TopicTaskMeta, TaskMetaEvent(m)) }
+func (p *schedPlugin) SchedulerTransition(t dask.Transition) {
+	p.c.push(TopicTransitions, TransitionEvent(t))
+}
+func (p *schedPlugin) GraphDone(id int, at sim.Time) { p.c.push(TopicGraphs, GraphDoneEvent(id, at)) }
+func (p *schedPlugin) Stolen(ev dask.StealEvent)     { p.c.push(TopicSteals, StealEventMeta(ev)) }
+
+type workerPlugin struct{ c *Collector }
+
+func (p *workerPlugin) WorkerTransition(t dask.Transition) {
+	p.c.push(TopicTransitions, TransitionEvent(t))
+}
+func (p *workerPlugin) TaskExecuted(rec dask.TaskExecution) {
+	p.c.push(TopicExecutions, ExecutionEvent(rec))
+}
+func (p *workerPlugin) TransferReceived(rec dask.Transfer) {
+	p.c.push(TopicTransfers, TransferEvent(rec))
+}
+func (p *workerPlugin) WorkerWarning(w dask.Warning) { p.c.push(TopicWarnings, WarningEvent(w)) }
+func (p *workerPlugin) Heartbeat(m dask.WorkerMetrics) {
+	p.c.push(TopicHeartbeats, HeartbeatEvent(m))
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+
+	"taskprov/internal/darshan"
+	"taskprov/internal/dask"
+	"taskprov/internal/mofka"
+	"taskprov/internal/pfs"
+	"taskprov/internal/platform"
+	"taskprov/internal/posixio"
+	"taskprov/internal/sim"
+)
+
+// Env exposes the run's substrate to workflow implementations (dataset
+// staging, extra observers).
+type Env struct {
+	Kernel   *sim.Kernel
+	Platform *platform.Cluster
+	PFS      *pfs.FileSystem
+	FS       *posixio.FS
+	Cluster  *dask.Cluster
+	RNG      *sim.RNG
+}
+
+// Workflow is implemented by workload generators: Stage pre-populates input
+// datasets on the PFS (before timing starts), Run drives the client program.
+type Workflow interface {
+	Name() string
+	Stage(env *Env)
+	Run(p *sim.Proc, cl *dask.Client, env *Env)
+}
+
+// SessionConfig describes one instrumented run.
+type SessionConfig struct {
+	JobID    string
+	Seed     uint64
+	Platform platform.Config
+	PFS      pfs.Config
+	Dask     dask.Config
+
+	// DarshanDXT enables extended tracing; DXTBufferSegments caps the
+	// per-process trace buffer (0 = darshan.DefaultDXTBufferSegments).
+	DarshanDXT        bool
+	DXTBufferSegments int
+
+	// DarshanMaxFileRecords caps the per-process file record table
+	// (0 = darshan.DefaultMaxFileRecords).
+	DarshanMaxFileRecords int
+
+	// Mofka producer batching for the provenance stream.
+	MofkaBatchSize int
+
+	// DisableCollection turns off all instrumentation (for overhead
+	// ablations): no plugins, no Darshan tracers.
+	DisableCollection bool
+}
+
+// DefaultSessionConfig mirrors the paper's setup: Polaris-like platform with
+// 2 worker nodes, Lustre-like storage, 4 workers/node x 8 threads, DXT on.
+func DefaultSessionConfig(jobID string, seed uint64) SessionConfig {
+	return SessionConfig{
+		JobID:          jobID,
+		Seed:           seed,
+		Platform:       platform.Polaris(),
+		PFS:            pfs.Lustre(),
+		Dask:           dask.DefaultConfig(),
+		DarshanDXT:     true,
+		MofkaBatchSize: 64,
+	}
+}
+
+// RunArtifacts is everything one instrumented run leaves behind: the Mofka
+// event topics, per-worker Darshan logs, and the metadata chart.
+type RunArtifacts struct {
+	Meta        RunMetadata
+	Broker      *mofka.Broker
+	DarshanLogs []*darshan.Log
+	Collector   *Collector
+
+	WallTime sim.Time
+}
+
+// Run executes the workflow under full instrumentation and returns the run's
+// artifacts.
+func Run(cfg SessionConfig, wf Workflow) (*RunArtifacts, error) {
+	return RunOnBroker(cfg, wf, nil)
+}
+
+// RunOnBroker is Run with an externally supplied Mofka broker, so in-situ
+// consumers (started before the run, possibly in other goroutines or behind
+// a TCP endpoint) share the event stream. A nil broker creates a private
+// in-memory one.
+func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArtifacts, error) {
+	k := sim.NewKernel(cfg.Seed)
+	plat := platform.New(k, cfg.Platform)
+	fsys := pfs.New(k, cfg.PFS)
+	px := posixio.NewFS(fsys)
+
+	// Darshan runtime per worker process.
+	var runtimes []*darshan.Runtime
+	tracers := dask.TracerFactory(nil)
+	if !cfg.DisableCollection {
+		tracers = func(rank int, hostname string) posixio.Tracer {
+			rt := darshan.NewRuntime(darshan.Config{
+				JobID: cfg.JobID, Rank: rank, Hostname: hostname,
+				Exe:        wf.Name(),
+				DXTEnabled: cfg.DarshanDXT, DXTBufferSegments: cfg.DXTBufferSegments,
+				MaxFileRecords: cfg.DarshanMaxFileRecords,
+			})
+			runtimes = append(runtimes, rt)
+			return rt
+		}
+	}
+
+	cluster := dask.NewCluster(k, plat, px, cfg.Dask, tracers)
+
+	if broker == nil {
+		broker = mofka.NewStandaloneBroker()
+	}
+	var collector *Collector
+	if !cfg.DisableCollection {
+		var err error
+		collector, err = NewCollector(broker, mofka.ProducerOptions{BatchSize: cfg.MofkaBatchSize})
+		if err != nil {
+			return nil, err
+		}
+		cluster.AddSchedulerPlugin(collector.SchedulerPlugin())
+		cluster.AddWorkerPlugin(collector.WorkerPlugin())
+	}
+
+	env := &Env{Kernel: k, Platform: plat, PFS: fsys, FS: px, Cluster: cluster, RNG: k.RNG("workflow")}
+	wf.Stage(env)
+
+	cluster.Start()
+	var start, end sim.Time
+	finished := false
+	k.Go(func(p *sim.Proc) {
+		cl := cluster.Client()
+		start = p.Now()
+		cl.WaitForWorkers(p, len(cluster.Workers()))
+		wf.Run(p, cl, env)
+		end = p.Now()
+		finished = true
+		k.Stop()
+	})
+	k.Run()
+	if !finished {
+		return nil, fmt.Errorf("core: workflow %q deadlocked at %v (%d events pending)", wf.Name(), k.Now(), k.Pending())
+	}
+
+	art := &RunArtifacts{Broker: broker, Collector: collector, WallTime: end - start}
+	if collector != nil {
+		if err := collector.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	for _, rt := range runtimes {
+		art.DarshanLogs = append(art.DarshanLogs, rt.Snapshot())
+	}
+	dxtBuf := cfg.DXTBufferSegments
+	if dxtBuf <= 0 {
+		dxtBuf = darshan.DefaultDXTBufferSegments
+	}
+	art.Meta = RunMetadata{
+		JobID:    cfg.JobID,
+		Workflow: wf.Name(),
+		Seed:     cfg.Seed,
+		Platform: plat.Describe(),
+		Storage:  fsys.Describe(),
+		Software: DefaultSoftwareStack(),
+		Job: JobConfig{
+			Nodes:            cfg.Platform.Nodes,
+			WorkersPerNode:   cfg.Dask.WorkersPerNode,
+			ThreadsPerWorker: cfg.Dask.ThreadsPerWorker,
+			Queue:            "prod",
+			Script:           jobScript(cfg, wf.Name()),
+		},
+		DaskConfig: DescribeDaskConfig(cluster.Config()),
+		Instrumentation: InstrumentationConfig{
+			DXTEnabled:        cfg.DarshanDXT,
+			DXTBufferSegments: dxtBuf,
+			MofkaBatchSize:    cfg.MofkaBatchSize,
+		},
+		StartSeconds: start.Seconds(),
+		EndSeconds:   end.Seconds(),
+		WallSeconds:  (end - start).Seconds(),
+	}
+	return art, nil
+}
+
+// jobScript synthesizes the submitted job script, part of the job-layer
+// provenance ("we collect job-level data, including job scripts and logs").
+func jobScript(cfg SessionConfig, workflow string) string {
+	return fmt.Sprintf(`#!/bin/bash
+#PBS -l select=%d:system=polaris
+#PBS -q prod
+#PBS -l walltime=01:00:00
+mpiexec -n %d --ppn %d dask-worker --nthreads %d ...
+python %s.py --seed %d
+`, cfg.Platform.Nodes, cfg.Platform.Nodes*cfg.Dask.WorkersPerNode,
+		cfg.Dask.WorkersPerNode, cfg.Dask.ThreadsPerWorker, workflow, cfg.Seed)
+}
+
+// TotalIOOps counts I/O operations the way the paper's analysis pipeline
+// does — from DXT trace segments — so it reproduces Table I's "I/O
+// operation" row, including the ResNet152 under-count when DXT buffers
+// overflow. TotalPosixOps gives the untruncated counter-based figure.
+func (a *RunArtifacts) TotalIOOps() int64 {
+	var n int64
+	for _, l := range a.DarshanLogs {
+		n += l.TotalDXTSegments()
+	}
+	return n
+}
+
+// TotalPosixOps sums reads+writes from the POSIX counter module.
+func (a *RunArtifacts) TotalPosixOps() int64 {
+	var n int64
+	for _, l := range a.DarshanLogs {
+		n += l.TotalOps()
+	}
+	return n
+}
+
+// TotalCommunications counts incoming inter-worker transfers — Table I's
+// "Communications".
+func (a *RunArtifacts) TotalCommunications() (int64, error) {
+	metas, err := DrainTopic(a.Broker, TopicTransfers)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(metas)), nil
+}
+
+// DistinctFiles counts the distinct file paths across Darshan logs —
+// Table I's "Distinct files".
+func (a *RunArtifacts) DistinctFiles() int {
+	set := map[string]struct{}{}
+	for _, l := range a.DarshanLogs {
+		for _, r := range l.Records {
+			set[r.Path] = struct{}{}
+		}
+	}
+	return len(set)
+}
+
+// DistinctTasks counts tasks registered at the scheduler — Table I's
+// "Distinct tasks".
+func (a *RunArtifacts) DistinctTasks() (int, error) {
+	metas, err := DrainTopic(a.Broker, TopicTaskMeta)
+	if err != nil {
+		return 0, err
+	}
+	set := map[string]struct{}{}
+	for _, m := range metas {
+		set[str(m, "key")] = struct{}{}
+	}
+	return len(set), nil
+}
+
+// TaskGraphs counts completed task graphs — Table I's "Task graphs".
+func (a *RunArtifacts) TaskGraphs() (int, error) {
+	metas, err := DrainTopic(a.Broker, TopicGraphs)
+	if err != nil {
+		return 0, err
+	}
+	return len(metas), nil
+}

@@ -1,0 +1,45 @@
+package darshan
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"taskprov/internal/posixio"
+	"taskprov/internal/sim"
+)
+
+// BenchmarkTracerReadEvent measures the per-operation instrumentation cost
+// (counters + DXT append), the overhead Darshan pays on every POSIX call.
+func BenchmarkTracerReadEvent(b *testing.B) {
+	r := NewRuntime(Config{JobID: "b", DXTEnabled: true, DXTBufferSegments: b.N + 1})
+	rec := posixio.OpRecord{Path: "/f", TID: 7, Offset: 0, Bytes: 4 << 20,
+		Start: sim.Seconds(1), End: sim.Seconds(1.001)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ReadEvent(rec)
+	}
+}
+
+// BenchmarkLogRoundTrip measures binary serialization of a realistic log.
+func BenchmarkLogRoundTrip(b *testing.B) {
+	r := NewRuntime(Config{JobID: "b", DXTEnabled: true})
+	for f := 0; f < 100; f++ {
+		path := fmt.Sprintf("/f%03d", f)
+		for i := 0; i < 20; i++ {
+			r.ReadEvent(posixio.OpRecord{Path: path, TID: uint64(i % 8), Offset: int64(i) << 20,
+				Bytes: 1 << 20, Start: sim.Seconds(float64(i)), End: sim.Seconds(float64(i) + 0.01)})
+		}
+	}
+	log := r.Snapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := log.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadLog(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package darshan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Summary is an aggregate report over one or more per-process logs — the
+// equivalent of darshan-parser/PyDarshan's job summary, which the paper's
+// analysis pipeline builds on ("availability of flexible analysis tools").
+type Summary struct {
+	JobID     string
+	Processes int
+	Files     int
+
+	Opens, Reads, Writes    int64
+	BytesRead, BytesWritten int64
+	ReadTime, WriteTime     float64 // cumulative seconds across processes
+	MetaTime                float64
+
+	// Observed time window across all processes.
+	Start, End float64
+
+	// Aggregate access-size histograms.
+	SizeHistRead  [NumSizeBuckets]int64
+	SizeHistWrite [NumSizeBuckets]int64
+
+	// Completeness.
+	Partial        bool
+	DXTDropped     int64
+	RecordsDropped int64
+
+	// Per-file aggregates, sorted by total bytes moved (descending).
+	TopFiles []FileSummary
+}
+
+// FileSummary aggregates one path across processes.
+type FileSummary struct {
+	Path         string
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	Processes    int
+}
+
+// Summarize merges logs (typically: one per worker process of a job) into a
+// job-level report. maxTop bounds TopFiles (0 = 10).
+func Summarize(logs []*Log, maxTop int) Summary {
+	if maxTop <= 0 {
+		maxTop = 10
+	}
+	s := Summary{Processes: len(logs)}
+	perFile := map[string]*FileSummary{}
+	for _, l := range logs {
+		if s.JobID == "" {
+			s.JobID = l.Job.JobID
+		}
+		if l.Job.Partial {
+			s.Partial = true
+		}
+		s.DXTDropped += l.Job.DXTDropped
+		s.RecordsDropped += l.Job.RecordsDropped
+		if s.Start == 0 || (l.Job.StartTime > 0 && l.Job.StartTime < s.Start) {
+			s.Start = l.Job.StartTime
+		}
+		if l.Job.EndTime > s.End {
+			s.End = l.Job.EndTime
+		}
+		for _, rec := range l.Records {
+			c := rec.Counters
+			s.Opens += c.Opens
+			s.Reads += c.Reads
+			s.Writes += c.Writes
+			s.BytesRead += c.BytesRead
+			s.BytesWritten += c.BytesWritten
+			s.ReadTime += c.ReadTime
+			s.WriteTime += c.WriteTime
+			s.MetaTime += c.MetaTime
+			for i := range c.SizeHistRead {
+				s.SizeHistRead[i] += c.SizeHistRead[i]
+				s.SizeHistWrite[i] += c.SizeHistWrite[i]
+			}
+			fs, ok := perFile[rec.Path]
+			if !ok {
+				fs = &FileSummary{Path: rec.Path}
+				perFile[rec.Path] = fs
+			}
+			fs.Reads += c.Reads
+			fs.Writes += c.Writes
+			fs.BytesRead += c.BytesRead
+			fs.BytesWritten += c.BytesWritten
+			fs.Processes++
+		}
+	}
+	s.Files = len(perFile)
+	all := make([]FileSummary, 0, len(perFile))
+	for _, fs := range perFile {
+		all = append(all, *fs)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		bi := all[i].BytesRead + all[i].BytesWritten
+		bj := all[j].BytesRead + all[j].BytesWritten
+		if bi != bj {
+			return bi > bj
+		}
+		return all[i].Path < all[j].Path
+	})
+	if len(all) > maxTop {
+		all = all[:maxTop]
+	}
+	s.TopFiles = all
+	return s
+}
+
+// Render formats the summary in a darshan-parser-ish plain-text layout.
+func (s Summary) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "darshan job summary: %s (%d processes, %d files)\n", s.JobID, s.Processes, s.Files)
+	fmt.Fprintf(&sb, "  window: [%.3fs, %.3fs]\n", s.Start, s.End)
+	fmt.Fprintf(&sb, "  posix: %d opens, %d reads (%d B), %d writes (%d B)\n",
+		s.Opens, s.Reads, s.BytesRead, s.Writes, s.BytesWritten)
+	fmt.Fprintf(&sb, "  time:  %.3fs read, %.3fs write, %.3fs meta\n", s.ReadTime, s.WriteTime, s.MetaTime)
+	if s.Partial {
+		fmt.Fprintf(&sb, "  WARNING: log is PARTIAL (%d DXT segments dropped, %d record-table misses)\n",
+			s.DXTDropped, s.RecordsDropped)
+	}
+	sb.WriteString("  access sizes (reads/writes):\n")
+	for i := 0; i < NumSizeBuckets; i++ {
+		if s.SizeHistRead[i] == 0 && s.SizeHistWrite[i] == 0 {
+			continue
+		}
+		fmt.Fprintf(&sb, "    %-9s %8d / %-8d\n", SizeBucketLabel(i), s.SizeHistRead[i], s.SizeHistWrite[i])
+	}
+	sb.WriteString("  top files by bytes:\n")
+	for _, f := range s.TopFiles {
+		fmt.Fprintf(&sb, "    %-48s r=%-6d w=%-6d %d B\n",
+			f.Path, f.Reads, f.Writes, f.BytesRead+f.BytesWritten)
+	}
+	return sb.String()
+}

@@ -1,0 +1,122 @@
+package dask
+
+import (
+	"fmt"
+
+	"taskprov/internal/platform"
+	"taskprov/internal/posixio"
+	"taskprov/internal/sim"
+)
+
+// TracerFactory builds the per-worker-process I/O tracer (the Darshan
+// runtime in an instrumented run; nil tracers disable I/O instrumentation).
+type TracerFactory func(rank int, hostname string) posixio.Tracer
+
+// Cluster is a Dask-style deployment bound to a simulation kernel: one
+// scheduler, one client, and WorkersPerNode workers on every platform node.
+type Cluster struct {
+	cfg    Config
+	kernel *sim.Kernel
+	plat   *platform.Cluster
+	fs     *posixio.FS
+
+	scheduler *Scheduler
+	client    *Client
+	workers   []*Worker
+
+	schedPlugins  []SchedulerPlugin
+	workerPlugins []WorkerPlugin
+}
+
+// NewCluster builds the deployment. fs may be nil for workloads that never
+// touch storage. tracers may be nil.
+func NewCluster(k *sim.Kernel, plat *platform.Cluster, fs *posixio.FS, cfg Config, tracers TracerFactory) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, kernel: k, plat: plat, fs: fs}
+	schedNode := plat.Node(cfg.SchedulerNode % len(plat.Nodes()))
+	c.scheduler = newScheduler(c, schedNode)
+	c.client = newClient(c, schedNode)
+	rank := 0
+	for _, node := range plat.Nodes() {
+		for i := 0; i < cfg.WorkersPerNode; i++ {
+			var tracer posixio.Tracer
+			if tracers != nil {
+				tracer = tracers(rank, node.Hostname)
+			}
+			w := newWorker(c, rank, node, tracer)
+			c.workers = append(c.workers, w)
+			rank++
+		}
+	}
+	c.scheduler.registerWorkers(c.workers)
+	return c
+}
+
+// Kernel returns the simulation kernel.
+func (c *Cluster) Kernel() *sim.Kernel { return c.kernel }
+
+// Config returns the normalized configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Client returns the cluster's client handle.
+func (c *Cluster) Client() *Client { return c.client }
+
+// Scheduler returns the scheduler handle.
+func (c *Cluster) Scheduler() *Scheduler { return c.scheduler }
+
+// Workers returns the workers in rank order.
+func (c *Cluster) Workers() []*Worker { return c.workers }
+
+// FS returns the POSIX layer workers perform I/O through (may be nil).
+func (c *Cluster) FS() *posixio.FS { return c.fs }
+
+// AddSchedulerPlugin attaches a scheduler observer. Must be called before
+// Start.
+func (c *Cluster) AddSchedulerPlugin(p SchedulerPlugin) {
+	c.schedPlugins = append(c.schedPlugins, p)
+}
+
+// AddWorkerPlugin attaches a worker observer (shared by all workers). Must
+// be called before Start.
+func (c *Cluster) AddWorkerPlugin(p WorkerPlugin) {
+	c.workerPlugins = append(c.workerPlugins, p)
+}
+
+// Start connects workers to the scheduler (staggered, as real workers race
+// through job startup) and begins heartbeats and the stealing loop. The
+// returned time is when the last worker finished connecting — the moment a
+// client blocking on "wait for workers" unblocks.
+func (c *Cluster) Start() {
+	connect := c.kernel.RNG("dask/connect")
+	for _, w := range c.workers {
+		w := w
+		delay := sim.Seconds(connect.Uniform(0.5, 3.0))
+		c.kernel.After(delay, w.start)
+	}
+	c.scheduler.start()
+}
+
+// control models a small control-plane message between two nodes, invoking
+// handle on arrival.
+func (c *Cluster) control(from, to *platform.Node, handle func()) {
+	c.plat.Transfer(from, to, c.cfg.ControlMessageBytes, func(sim.Time) { handle() })
+}
+
+// workerAddr formats the Dask-style address of a worker.
+func workerAddr(hostname string, rank int) string {
+	return fmt.Sprintf("tcp://%s:%d", hostname, 40000+rank)
+}
+
+// emitSchedTransition fans a scheduler-side transition out to plugins.
+func (c *Cluster) emitSchedTransition(t Transition) {
+	for _, p := range c.schedPlugins {
+		p.SchedulerTransition(t)
+	}
+}
+
+// emitWorkerTransition fans a worker-side transition out to plugins.
+func (c *Cluster) emitWorkerTransition(t Transition) {
+	for _, p := range c.workerPlugins {
+		p.WorkerTransition(t)
+	}
+}

@@ -1,0 +1,117 @@
+package dask
+
+import "taskprov/internal/sim"
+
+// Config is the runtime configuration, mirroring the knobs of
+// distributed.yaml that the paper's provenance chart captures at the
+// system-software layer (timeouts, heartbeat intervals, communication
+// settings).
+type Config struct {
+	WorkersPerNode   int
+	ThreadsPerWorker int
+
+	// SchedulerNode is the platform node index hosting the scheduler (the
+	// client runs alongside it).
+	SchedulerNode int
+
+	// HeartbeatInterval is the worker -> scheduler heartbeat period
+	// (distributed.yaml: worker.heartbeat-interval).
+	HeartbeatInterval sim.Time
+
+	// WorkStealing enables the scheduler's stealing loop
+	// (distributed.yaml: scheduler.work-stealing).
+	WorkStealing bool
+	// StealInterval is the stealing loop period
+	// (scheduler.work-stealing-interval).
+	StealInterval sim.Time
+
+	// EventLoopMonitorThreshold: a blocked worker event loop longer than
+	// this emits "unresponsive event loop" warnings, one per threshold
+	// interval while blocked (tornado's PeriodicCallback monitor).
+	EventLoopMonitorThreshold sim.Time
+
+	// GCThresholdBytes triggers a garbage-collection pause each time a
+	// worker accumulates this many new bytes in memory; GCPausePerGiB
+	// scales the pause with the managed heap.
+	GCThresholdBytes int64
+	GCPausePerGiB    sim.Time
+	GCPauseBase      sim.Time
+
+	// DefaultTaskDuration seeds occupancy estimates for prefixes that have
+	// never completed (distributed.yaml: scheduler.default-task-durations).
+	DefaultTaskDuration sim.Time
+
+	// ComputeJitterCV is the coefficient of variation applied to every
+	// compute segment, modeling OS noise on top of per-node speed factors.
+	ComputeJitterCV float64
+
+	// ControlMessageBytes is the nominal size of scheduler/worker control
+	// messages (task assignment, completion reports).
+	ControlMessageBytes int64
+
+	// ConnectionSetup is the one-time cost of the first transfer between a
+	// pair of workers (TCP connect + comm handshake). It is why small
+	// transfers near the start of a workflow are disproportionately slow
+	// (the paper's Fig. 5 observation).
+	ConnectionSetup sim.Time
+}
+
+// DefaultConfig returns the paper's job configuration: 4 workers per node
+// with 8 threads per worker, work stealing on (Dask's default).
+func DefaultConfig() Config {
+	return Config{
+		WorkersPerNode:            4,
+		ThreadsPerWorker:          8,
+		SchedulerNode:             0,
+		HeartbeatInterval:         sim.Milliseconds(500),
+		WorkStealing:              true,
+		StealInterval:             sim.Milliseconds(100),
+		EventLoopMonitorThreshold: sim.Seconds(3),
+		GCThresholdBytes:          4 << 30,
+		GCPausePerGiB:             sim.Milliseconds(60),
+		GCPauseBase:               sim.Milliseconds(20),
+		DefaultTaskDuration:       sim.Milliseconds(500),
+		ComputeJitterCV:           0.08,
+		ControlMessageBytes:       1024,
+		ConnectionSetup:           sim.Milliseconds(9),
+	}
+}
+
+// Validate normalizes zero fields to defaults.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.WorkersPerNode <= 0 {
+		c.WorkersPerNode = d.WorkersPerNode
+	}
+	if c.ThreadsPerWorker <= 0 {
+		c.ThreadsPerWorker = d.ThreadsPerWorker
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if c.StealInterval <= 0 {
+		c.StealInterval = d.StealInterval
+	}
+	if c.EventLoopMonitorThreshold <= 0 {
+		c.EventLoopMonitorThreshold = d.EventLoopMonitorThreshold
+	}
+	if c.GCThresholdBytes <= 0 {
+		c.GCThresholdBytes = d.GCThresholdBytes
+	}
+	if c.GCPausePerGiB <= 0 {
+		c.GCPausePerGiB = d.GCPausePerGiB
+	}
+	if c.GCPauseBase <= 0 {
+		c.GCPauseBase = d.GCPauseBase
+	}
+	if c.DefaultTaskDuration <= 0 {
+		c.DefaultTaskDuration = d.DefaultTaskDuration
+	}
+	if c.ControlMessageBytes <= 0 {
+		c.ControlMessageBytes = d.ControlMessageBytes
+	}
+	if c.ConnectionSetup <= 0 {
+		c.ConnectionSetup = d.ConnectionSetup
+	}
+	return c
+}

@@ -1,0 +1,151 @@
+package dask
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FuseLinearChains reproduces Dask's task-graph optimization that combines
+// linear chains — a task whose single dependent has it as its single
+// dependency — into one node. Dask applies this to I/O producers so data is
+// consumed where it is read ("to enhance data locality", §IV-D3), producing
+// the "read_parquet-fused-assign"-style task categories the paper observes
+// dominating XGBoost's runtime.
+//
+// The fused task's body runs the chain's bodies in order on one worker
+// thread; its output size is the tail's; its key is derived from the chain's
+// prefixes joined with "-fused-" plus the tail's decoration, mirroring
+// Dask's naming. Fusion is applied repeatedly until a fixed point, capped by
+// maxChain (<=1 disables; Dask's default ave-width heuristics are
+// approximated by a plain chain-length cap).
+func FuseLinearChains(g *Graph, maxChain int) *Graph {
+	if maxChain <= 1 {
+		return g
+	}
+	// Build dependent counts.
+	type node struct {
+		spec       *TaskSpec
+		dependents []TaskKey
+	}
+	nodes := make(map[TaskKey]*node, len(g.tasks))
+	for k, t := range g.tasks {
+		nodes[k] = &node{spec: t}
+	}
+	for k, t := range g.tasks {
+		for _, d := range t.Deps {
+			nodes[d].dependents = append(nodes[d].dependents, k)
+		}
+	}
+
+	fusedInto := make(map[TaskKey]TaskKey) // member -> chain head key
+	out := NewGraph(g.ID)
+
+	// Walk in topological order so chain heads are visited before tails.
+	visited := make(map[TaskKey]bool)
+	for _, k := range g.Keys() {
+		if visited[k] {
+			continue
+		}
+		n := nodes[k]
+		// A chain starts at a task that is not itself fusable into its
+		// (single) dependency.
+		chain := []*TaskSpec{n.spec}
+		cur := n
+		for len(chain) < maxChain {
+			if len(cur.dependents) != 1 {
+				break
+			}
+			next := nodes[cur.dependents[0]]
+			if len(next.spec.Deps) != 1 {
+				break
+			}
+			chain = append(chain, next.spec)
+			cur = next
+		}
+		for _, m := range chain {
+			visited[m.Key] = true
+		}
+		if len(chain) == 1 {
+			spec := *n.spec
+			out.Add(&spec)
+			continue
+		}
+		head, tail := chain[0], chain[len(chain)-1]
+		fkey := fusedKey(chain)
+		for _, m := range chain {
+			fusedInto[m.Key] = fkey
+		}
+		bodies := make([]TaskFunc, 0, len(chain))
+		blocks := false
+		estSum := head.EstDuration
+		for i, m := range chain {
+			if m.Run != nil {
+				bodies = append(bodies, m.Run)
+			} else if m.EstDuration > 0 {
+				d := m.EstDuration
+				bodies = append(bodies, func(ctx *TaskContext) { ctx.Compute(d) })
+			}
+			blocks = blocks || m.BlocksEventLoop
+			if i > 0 {
+				estSum += m.EstDuration
+			}
+		}
+		fused := &TaskSpec{
+			Key:             fkey,
+			Deps:            append([]TaskKey(nil), head.Deps...),
+			OutputSize:      tail.OutputSize,
+			EstDuration:     estSum,
+			BlocksEventLoop: blocks,
+			Restrictions:    head.Restrictions,
+			Run: func(ctx *TaskContext) {
+				for _, b := range bodies {
+					b(ctx)
+				}
+			},
+		}
+		out.Add(fused)
+	}
+
+	// Rewrite dependencies through the fusion map; chain members other than
+	// heads have no surviving node, and edges into a chain member point to
+	// the fused task. (Iterate the map directly: the graph cannot be
+	// finalized until deps are rewritten.)
+	for _, t := range out.tasks {
+		seen := make(map[TaskKey]bool, len(t.Deps))
+		deps := t.Deps[:0]
+		for _, d := range t.Deps {
+			if f, ok := fusedInto[d]; ok {
+				d = f
+			}
+			if d == t.Key || seen[d] {
+				continue
+			}
+			seen[d] = true
+			deps = append(deps, d)
+		}
+		t.Deps = deps
+	}
+	if err := out.Finalize(); err != nil {
+		panic(fmt.Sprintf("dask: fusion produced invalid graph: %v", err))
+	}
+	return out
+}
+
+// fusedKey builds the Dask-style fused task key from a chain of specs:
+// distinct prefixes joined by "-fused-", then the tail's decoration.
+func fusedKey(chain []*TaskSpec) TaskKey {
+	var parts []string
+	for _, m := range chain {
+		p := m.Prefix()
+		if len(parts) == 0 || parts[len(parts)-1] != p {
+			parts = append(parts, p)
+		}
+	}
+	stem := strings.Join(parts, "-fused-")
+	tail := string(chain[len(chain)-1].Key)
+	dec := ""
+	if i := strings.LastIndex(tail, "-"); i >= 0 && isHashy(tail[i+1:]) {
+		dec = tail[i:]
+	}
+	return TaskKey(stem + dec)
+}

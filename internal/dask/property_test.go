@@ -1,0 +1,195 @@
+package dask
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"taskprov/internal/sim"
+)
+
+func timeNow() int64 { return time.Now().UnixNano() }
+
+// randomDAG builds a layered random DAG with the given rng stream.
+func randomDAG(id int, rng *sim.RNG, layers, width int) *Graph {
+	g := NewGraph(id)
+	var prev []TaskKey
+	for l := 0; l < layers; l++ {
+		n := rng.IntBetween(1, width)
+		var cur []TaskKey
+		for i := 0; i < n; i++ {
+			key := TaskKey(fmt.Sprintf("t-%02d-%02d", l, i))
+			var deps []TaskKey
+			for _, p := range prev {
+				if rng.Bool(0.4) {
+					deps = append(deps, p)
+				}
+			}
+			// Ensure connectivity beyond layer 0.
+			if l > 0 && len(deps) == 0 {
+				deps = append(deps, prev[rng.Intn(len(prev))])
+			}
+			g.Add(&TaskSpec{
+				Key: key, Deps: deps,
+				EstDuration: sim.Milliseconds(rng.Uniform(5, 120)),
+				OutputSize:  int64(rng.IntBetween(1, 64)) << 16,
+			})
+			cur = append(cur, key)
+		}
+		prev = cur
+	}
+	return g
+}
+
+// TestRandomDAGsScheduleCorrectly is the scheduler's core property test:
+// for arbitrary layered DAGs, every task executes exactly once, no task
+// starts before all of its dependencies finished, transitions are
+// well-formed, and the run is deterministic per seed.
+func TestRandomDAGsScheduleCorrectly(t *testing.T) {
+	for trial := 0; trial < 12; trial++ {
+		seed := uint64(1000 + trial)
+		gen := sim.NewRNG(seed).Split("dag")
+		env := newEnv(seed, smallCfg())
+		g := randomDAG(1, gen, gen.IntBetween(2, 6), 8)
+		total := g.Len()
+		env.runWorkflow(func(p *sim.Proc, cl *Client) {
+			cl.SubmitAndWait(p, g)
+		})
+
+		// Exactly-once execution.
+		execTimes := map[TaskKey]TaskExecution{}
+		for _, e := range env.rec.execs {
+			if _, dup := execTimes[e.Key]; dup {
+				t.Fatalf("seed %d: task %s executed twice", seed, e.Key)
+			}
+			execTimes[e.Key] = e
+		}
+		if len(execTimes) != total {
+			t.Fatalf("seed %d: executed %d/%d tasks", seed, len(execTimes), total)
+		}
+
+		// Dependency ordering.
+		for _, k := range g.Keys() {
+			spec, _ := g.Task(k)
+			for _, d := range spec.Deps {
+				if execTimes[k].Start < execTimes[d].Stop {
+					t.Fatalf("seed %d: %s started %v before dep %s finished %v",
+						seed, k, execTimes[k].Start, d, execTimes[d].Stop)
+				}
+			}
+		}
+
+		// Transition well-formedness: per (key, location), each transition's
+		// From matches the previous To.
+		last := map[string]TaskState{}
+		for _, tr := range env.rec.schedTrans {
+			id := string(tr.Key)
+			if prev, ok := last[id]; ok && tr.From != prev {
+				t.Fatalf("seed %d: scheduler transition chain broken for %s: %s -> (%s->%s)",
+					seed, tr.Key, prev, tr.From, tr.To)
+			}
+			last[id] = tr.To
+		}
+
+		// Every leaf ends in scheduler-side memory.
+		for _, k := range g.Leaves() {
+			if env.c.Scheduler().TaskState(k) != StateMemory {
+				t.Fatalf("seed %d: leaf %s in state %s", seed, k, env.c.Scheduler().TaskState(k))
+			}
+		}
+	}
+}
+
+// TestRandomDAGDeterminism re-runs one random DAG under the same seed and
+// requires identical execution records.
+func TestRandomDAGDeterminism(t *testing.T) {
+	run := func() []TaskExecution {
+		gen := sim.NewRNG(77).Split("dag")
+		env := newEnv(77, smallCfg())
+		g := randomDAG(1, gen, 5, 6)
+		env.runWorkflow(func(p *sim.Proc, cl *Client) {
+			cl.SubmitAndWait(p, g)
+		})
+		return env.rec.execs
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("execution counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("execution %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRandomDAGWithIO mixes I/O-performing tasks into random DAGs and
+// checks Darshan-visible effects stay consistent with execution.
+func TestRandomDAGWithIO(t *testing.T) {
+	seed := uint64(31)
+	gen := sim.NewRNG(seed).Split("dag")
+	env := newEnv(seed, smallCfg())
+	g := randomDAG(1, gen, 4, 6)
+	// Augment: every root also writes a file.
+	for i, k := range g.Roots() {
+		spec, _ := g.Task(k)
+		path := fmt.Sprintf("/lus/prop/out-%02d", i)
+		inner := spec.EstDuration
+		spec.EstDuration = 0
+		spec.Run = func(ctx *TaskContext) {
+			ctx.Compute(inner)
+			f, err := ctx.Open(path, 0x2|0x4) // WRONLY|CREATE
+			if err != nil {
+				panic(err)
+			}
+			f.Write(ctx.Proc(), 1<<20)
+			f.Close(ctx.Proc())
+		}
+	}
+	env.runWorkflow(func(p *sim.Proc, cl *Client) {
+		cl.SubmitAndWait(p, g)
+	})
+	roots := len(g.Roots())
+	files := env.c.FS().PFS().List("/lus/prop")
+	if len(files) != roots {
+		t.Fatalf("files = %d, want %d", len(files), roots)
+	}
+}
+
+// TestSchedulerScales runs a large random workload (20k tasks) and bounds
+// the real time the scheduler machinery takes — a regression guard against
+// accidentally quadratic bookkeeping.
+func TestSchedulerScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	start := timeNow()
+	gen := sim.NewRNG(7).Split("stress")
+	env := newEnv(7, DefaultConfig())
+	g := NewGraph(1)
+	const roots = 2000
+	total := 0
+	for r := 0; r < roots; r++ {
+		root := TaskKey(fmt.Sprintf("src-%05d", r))
+		g.Add(&TaskSpec{Key: root, EstDuration: sim.Milliseconds(gen.Uniform(5, 40)), OutputSize: 1 << 20})
+		total++
+		fan := gen.IntBetween(5, 13)
+		for c := 0; c < fan; c++ {
+			g.Add(&TaskSpec{
+				Key:  TaskKey(fmt.Sprintf("child-%05d-%02d", r, c)),
+				Deps: []TaskKey{root}, EstDuration: sim.Milliseconds(gen.Uniform(5, 30)),
+				OutputSize: 1 << 16,
+			})
+			total++
+		}
+	}
+	env.runWorkflow(func(p *sim.Proc, cl *Client) {
+		cl.SubmitAndWait(p, g)
+	})
+	if len(env.rec.execs) != total {
+		t.Fatalf("executed %d/%d", len(env.rec.execs), total)
+	}
+	if el := timeNow() - start; el > 60e9 {
+		t.Fatalf("stress run took %.1fs of real time", float64(el)/1e9)
+	}
+}

@@ -1,0 +1,165 @@
+package dask
+
+import "taskprov/internal/sim"
+
+// TaskState is a scheduler- or worker-side task state, using Dask's names.
+type TaskState string
+
+// Scheduler-side task states.
+const (
+	StateReleased   TaskState = "released"
+	StateWaiting    TaskState = "waiting"
+	StateProcessing TaskState = "processing"
+	StateMemory     TaskState = "memory"
+	StateErred      TaskState = "erred"
+	StateForgotten  TaskState = "forgotten"
+)
+
+// Worker-side task states.
+const (
+	WStateWaiting   TaskState = "waiting"
+	WStateFetching  TaskState = "fetching"
+	WStateReady     TaskState = "ready"
+	WStateExecuting TaskState = "executing"
+	WStateMemory    TaskState = "memory"
+)
+
+// TaskMeta is the static task information captured when a graph reaches the
+// scheduler: the identifying fields the paper extracts "when tasks arrive at
+// the scheduler" (§III-E1).
+type TaskMeta struct {
+	Key     TaskKey   `json:"key"`
+	Prefix  string    `json:"prefix"`
+	Group   string    `json:"group"`
+	GraphID int       `json:"graph_id"`
+	Deps    []TaskKey `json:"deps"`
+	At      sim.Time  `json:"at"`
+}
+
+// Transition is one task state transition, with the location and stimulus,
+// matching the paper's plugin capture ("task key, group, prefix, initial
+// state, final state, timestamp, and the stimuli that triggered this
+// transition").
+type Transition struct {
+	Key      TaskKey   `json:"key"`
+	From     TaskState `json:"from"`
+	To       TaskState `json:"to"`
+	Stimulus string    `json:"stimulus"`
+	Location string    `json:"location"` // "scheduler" or worker address
+	At       sim.Time  `json:"at"`
+}
+
+// TaskExecution is the completion record a worker produces: where and when
+// the task body ran ("the IP address of the worker where the task was
+// executed, the thread ID, start and end times, and the size of the task
+// result").
+type TaskExecution struct {
+	Key        TaskKey  `json:"key"`
+	Worker     string   `json:"worker"` // worker address ip:port
+	Hostname   string   `json:"hostname"`
+	ThreadID   uint64   `json:"thread_id"`
+	Start      sim.Time `json:"start"`
+	Stop       sim.Time `json:"stop"`
+	OutputSize int64    `json:"output_size"`
+	GraphID    int      `json:"graph_id"`
+}
+
+// Transfer is one dependency movement between workers (an "incoming
+// communication" at the destination, the unit counted in Table I).
+type Transfer struct {
+	Key      TaskKey  `json:"key"`
+	From     string   `json:"from"` // source worker address
+	To       string   `json:"to"`
+	Bytes    int64    `json:"bytes"`
+	Start    sim.Time `json:"start"`
+	Stop     sim.Time `json:"stop"`
+	SameNode bool     `json:"same_node"`
+}
+
+// WarningKind classifies runtime warnings scraped from worker/scheduler
+// logs.
+type WarningKind string
+
+// Warning kinds the paper's Fig. 7 distinguishes.
+const (
+	WarnEventLoop WarningKind = "unresponsive_event_loop"
+	WarnGC        WarningKind = "gc_collection"
+)
+
+// Warning is one runtime warning occurrence.
+type Warning struct {
+	Kind     WarningKind `json:"kind"`
+	Worker   string      `json:"worker"`
+	Hostname string      `json:"hostname"`
+	At       sim.Time    `json:"at"`
+	Duration sim.Time    `json:"duration"` // how long the loop was blocked / GC took
+	Message  string      `json:"message"`
+}
+
+// WorkerMetrics is a heartbeat sample.
+type WorkerMetrics struct {
+	Worker    string   `json:"worker"`
+	At        sim.Time `json:"at"`
+	Memory    int64    `json:"memory"`
+	Executing int      `json:"executing"`
+	Ready     int      `json:"ready"`
+}
+
+// StealEvent records one successful work-stealing move.
+type StealEvent struct {
+	Key    TaskKey  `json:"key"`
+	Victim string   `json:"victim"`
+	Thief  string   `json:"thief"`
+	At     sim.Time `json:"at"`
+}
+
+// SchedulerPlugin observes scheduler-side events, like a
+// distributed.SchedulerPlugin.
+type SchedulerPlugin interface {
+	TaskAdded(meta TaskMeta)
+	SchedulerTransition(t Transition)
+	GraphDone(graphID int, at sim.Time)
+	Stolen(ev StealEvent)
+}
+
+// WorkerPlugin observes worker-side events, like a distributed.WorkerPlugin.
+type WorkerPlugin interface {
+	WorkerTransition(t Transition)
+	TaskExecuted(rec TaskExecution)
+	TransferReceived(rec Transfer)
+	WorkerWarning(w Warning)
+	Heartbeat(m WorkerMetrics)
+}
+
+// NopSchedulerPlugin is an embeddable no-op SchedulerPlugin.
+type NopSchedulerPlugin struct{}
+
+// TaskAdded implements SchedulerPlugin.
+func (NopSchedulerPlugin) TaskAdded(TaskMeta) {}
+
+// SchedulerTransition implements SchedulerPlugin.
+func (NopSchedulerPlugin) SchedulerTransition(Transition) {}
+
+// GraphDone implements SchedulerPlugin.
+func (NopSchedulerPlugin) GraphDone(int, sim.Time) {}
+
+// Stolen implements SchedulerPlugin.
+func (NopSchedulerPlugin) Stolen(StealEvent) {}
+
+// NopWorkerPlugin is an embeddable no-op WorkerPlugin.
+type NopWorkerPlugin struct{}
+
+// WorkerTransition implements WorkerPlugin.
+func (NopWorkerPlugin) WorkerTransition(Transition) {}
+
+// TaskExecuted implements WorkerPlugin.
+func (NopWorkerPlugin) TaskExecuted(TaskExecution) {}
+
+// TransferReceived implements WorkerPlugin.
+func (NopWorkerPlugin) TransferReceived(Transfer) {}
+
+// WorkerWarning implements WorkerPlugin.
+func (NopWorkerPlugin) WorkerWarning(Warning) {}
+
+// Heartbeat implements WorkerPlugin.
+func (NopWorkerPlugin) Heartbeat(WorkerMetrics) {}

@@ -1,0 +1,644 @@
+package dask
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"taskprov/internal/platform"
+	"taskprov/internal/sim"
+)
+
+// Scheduler is the dynamic task scheduler: it tracks every task's state,
+// decides worker placement with Dask's locality+occupancy heuristic, and
+// runs the work-stealing loop.
+type Scheduler struct {
+	c    *Cluster
+	node *platform.Node
+
+	tasks   map[TaskKey]*schedTask
+	workers []*workerHandle
+	graphs  map[int]*graphState
+
+	prefixDur map[string]*durAvg
+	rng       *sim.RNG
+
+	// queued holds root tasks withheld from saturated workers (Dask's
+	// root-task queuing / worker-saturation behaviour), ordered by
+	// priority.
+	queued rootHeap
+
+	// stealing tracks keys with an in-flight steal request.
+	stealing map[TaskKey]bool
+
+	nextPriority int
+	stealCount   int
+	started      bool
+}
+
+// saturationLimit is how many assigned-but-unfinished tasks a worker may
+// hold before root tasks are withheld scheduler-side (Dask's
+// worker-saturation factor of ~1.2).
+func (s *Scheduler) saturationLimit() int {
+	t := s.c.cfg.ThreadsPerWorker
+	extra := t / 4
+	if extra < 1 {
+		extra = 1
+	}
+	return t + extra
+}
+
+type schedTask struct {
+	spec     *TaskSpec
+	graphID  int
+	state    TaskState
+	priority int
+	retries  int
+
+	waitingOn  map[TaskKey]struct{}
+	dependents []TaskKey
+
+	whoHas       map[int]struct{} // worker ranks holding the result
+	processingOn int              // rank, valid in StateProcessing
+	size         int64
+
+	pendingDependents int
+	isOutput          bool
+}
+
+type workerHandle struct {
+	w          *Worker
+	rank       int
+	connected  bool
+	occupancy  sim.Time
+	processing map[TaskKey]struct{}
+	memory     int64
+
+	// In-flight steal accounting, so one tick's batch of moves does not
+	// over-correct the imbalance.
+	inbound  int
+	outbound int
+}
+
+type graphState struct {
+	remaining int
+	errMsg    string
+}
+
+type durAvg struct {
+	total sim.Time
+	n     int64
+}
+
+func (a *durAvg) add(d sim.Time) { a.total += d; a.n++ }
+func (a *durAvg) mean() sim.Time {
+	if a.n == 0 {
+		return 0
+	}
+	return a.total / sim.Time(a.n)
+}
+
+func newScheduler(c *Cluster, node *platform.Node) *Scheduler {
+	return &Scheduler{
+		c:         c,
+		node:      node,
+		tasks:     make(map[TaskKey]*schedTask),
+		graphs:    make(map[int]*graphState),
+		prefixDur: make(map[string]*durAvg),
+		stealing:  make(map[TaskKey]bool),
+		rng:       c.kernel.RNG("dask/scheduler"),
+	}
+}
+
+func (s *Scheduler) registerWorkers(ws []*Worker) {
+	for _, w := range ws {
+		s.workers = append(s.workers, &workerHandle{
+			w: w, rank: w.rank, processing: make(map[TaskKey]struct{}),
+		})
+	}
+}
+
+// Node returns the platform node hosting the scheduler.
+func (s *Scheduler) Node() *platform.Node { return s.node }
+
+// Steals reports how many tasks were successfully work-stolen so far.
+func (s *Scheduler) Steals() int { return s.stealCount }
+
+// TaskState reports the scheduler-side state of a task ("" if unknown).
+func (s *Scheduler) TaskState(k TaskKey) TaskState {
+	ts, ok := s.tasks[k]
+	if !ok {
+		return ""
+	}
+	return ts.state
+}
+
+// HasInMemory reports whether the task's result is in distributed memory.
+func (s *Scheduler) HasInMemory(k TaskKey) bool {
+	ts, ok := s.tasks[k]
+	return ok && ts.state == StateMemory
+}
+
+func (s *Scheduler) start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	if s.c.cfg.WorkStealing {
+		s.c.kernel.After(s.c.cfg.StealInterval, s.stealTick)
+	}
+}
+
+func (s *Scheduler) workerConnected(rank int) {
+	s.workers[rank].connected = true
+}
+
+// ConnectedWorkers reports how many workers completed their handshake.
+func (s *Scheduler) ConnectedWorkers() int {
+	n := 0
+	for _, wh := range s.workers {
+		if wh.connected {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) estimate(prefix string) sim.Time {
+	if a, ok := s.prefixDur[prefix]; ok && a.n > 0 {
+		return a.mean()
+	}
+	return s.c.cfg.DefaultTaskDuration
+}
+
+// handleGraph registers a submitted graph and schedules its runnable tasks.
+func (s *Scheduler) handleGraph(g *Graph) {
+	now := s.c.kernel.Now()
+	s.graphs[g.ID] = &graphState{remaining: g.Len()}
+
+	leaves := make(map[TaskKey]bool)
+	for _, k := range g.Leaves() {
+		leaves[k] = true
+	}
+	order := g.Keys()
+	newTasks := make([]*schedTask, 0, len(order))
+	for _, k := range order {
+		spec, _ := g.Task(k)
+		if _, dup := s.tasks[k]; dup {
+			panic(fmt.Sprintf("dask: task %q resubmitted in graph %d", k, g.ID))
+		}
+		ts := &schedTask{
+			spec:      spec,
+			graphID:   g.ID,
+			state:     StateReleased,
+			priority:  s.nextPriority,
+			waitingOn: make(map[TaskKey]struct{}),
+			whoHas:    make(map[int]struct{}),
+			isOutput:  leaves[k],
+		}
+		s.nextPriority++
+		s.tasks[k] = ts
+		newTasks = append(newTasks, ts)
+
+		for _, p := range s.c.schedPlugins {
+			p.TaskAdded(TaskMeta{
+				Key: k, Prefix: spec.Prefix(), Group: spec.Group(),
+				GraphID: g.ID, Deps: spec.Deps, At: now,
+			})
+		}
+	}
+	// Wire dependencies, treating deps absent from this graph as externals
+	// that must already be in distributed memory.
+	for _, ts := range newTasks {
+		for _, d := range ts.spec.Deps {
+			dt, ok := s.tasks[d]
+			if !ok {
+				panic(fmt.Sprintf("dask: task %q depends on unknown key %q", ts.spec.Key, d))
+			}
+			dt.pendingDependents++
+			if dt.state != StateMemory {
+				ts.waitingOn[d] = struct{}{}
+				dt.dependents = append(dt.dependents, ts.spec.Key)
+			}
+		}
+	}
+	for _, ts := range newTasks {
+		s.transition(ts, StateWaiting, "update-graph")
+		if len(ts.waitingOn) == 0 {
+			s.maybeSchedule(ts)
+		}
+	}
+}
+
+func (s *Scheduler) transition(ts *schedTask, to TaskState, stimulus string) {
+	from := ts.state
+	ts.state = to
+	s.c.emitSchedTransition(Transition{
+		Key: ts.spec.Key, From: from, To: to,
+		Stimulus: stimulus, Location: "scheduler", At: s.c.kernel.Now(),
+	})
+}
+
+// decideWorker reproduces Dask's placement heuristic: minimize estimated
+// start time = occupancy per thread + cost of fetching the dependencies the
+// candidate does not hold; near-ties break randomly (a deliberate source of
+// run-to-run placement variability, as in Dask's worker_objective).
+func (s *Scheduler) decideWorker(ts *schedTask) *workerHandle {
+	allowed := func(wh *workerHandle) bool {
+		if !wh.connected {
+			return false
+		}
+		if len(ts.spec.Restrictions) == 0 {
+			return true
+		}
+		for _, r := range ts.spec.Restrictions {
+			if r == wh.w.addr {
+				return true
+			}
+		}
+		return false
+	}
+	// Planning bandwidth mirrors distributed's default 100 MB/s estimate:
+	// transfer avoidance dominates placement for large dependencies.
+	const netBW = 100e6
+	isRoot := len(ts.spec.Deps) == 0
+	// Like Dask's decide_worker, tasks with dependencies choose among the
+	// workers already holding some of that data; balance is restored by
+	// work stealing rather than by eager spreading. Restrictions override
+	// the candidate narrowing.
+	holders := map[int]bool{}
+	if !isRoot && len(ts.spec.Restrictions) == 0 {
+		for _, d := range ts.spec.Deps {
+			if dt := s.tasks[d]; dt != nil {
+				for r := range dt.whoHas {
+					holders[r] = true
+				}
+			}
+		}
+		// When every data holder is deeply backlogged (a fan-out burst just
+		// landed, e.g. all chunk tasks of one image becoming ready at
+		// once), the least-occupied worker becomes a candidate too:
+		// consumers spill away from their data and fetch it, which is
+		// where much of the cross-worker traffic in Table I comes from.
+		spillDepth := 2 * s.saturationLimit()
+		spill := len(holders) > 0
+		for r := range holders {
+			if len(s.workers[r].processing) < spillDepth {
+				spill = false
+				break
+			}
+		}
+		if spill {
+			leastRank, leastOcc := -1, sim.Time(0)
+			for _, wh := range s.workers {
+				if !wh.connected {
+					continue
+				}
+				if leastRank < 0 || wh.occupancy < leastOcc {
+					leastRank, leastOcc = wh.rank, wh.occupancy
+				}
+			}
+			if leastRank >= 0 {
+				holders[leastRank] = true
+			}
+		}
+	}
+	best := []*workerHandle(nil)
+	bestScore := math.Inf(1)
+	for _, wh := range s.workers {
+		if !allowed(wh) {
+			continue
+		}
+		if isRoot && len(wh.processing) >= s.saturationLimit() {
+			continue // withhold root tasks from saturated workers
+		}
+		if len(holders) > 0 && !holders[wh.rank] {
+			continue
+		}
+		fetch := int64(0)
+		missing := 0
+		for _, d := range ts.spec.Deps {
+			dt := s.tasks[d]
+			if dt == nil {
+				continue
+			}
+			if _, has := dt.whoHas[wh.rank]; !has {
+				fetch += dt.size
+				missing++
+			}
+		}
+		score := wh.occupancy.Seconds()/float64(s.c.cfg.ThreadsPerWorker) +
+			float64(fetch)/netBW + 0.01*float64(missing)
+		switch {
+		case score < bestScore-1e-9:
+			bestScore = score
+			best = best[:0]
+			best = append(best, wh)
+		case score <= bestScore+1e-9:
+			best = append(best, wh)
+		}
+	}
+	if len(best) == 0 {
+		return nil
+	}
+	return best[s.rng.Intn(len(best))]
+}
+
+func (s *Scheduler) maybeSchedule(ts *schedTask) {
+	wh := s.decideWorker(ts)
+	if wh == nil {
+		if len(ts.spec.Deps) == 0 && s.ConnectedWorkers() > 0 {
+			// All candidate workers are saturated: withhold the root task
+			// scheduler-side until a slot frees (Dask's queued state).
+			s.queued.push(ts)
+			return
+		}
+		// No connected worker yet: retry shortly (tasks are submitted
+		// after the client waited for workers, so this is rare).
+		s.c.kernel.After(sim.Milliseconds(50), func() {
+			if ts.state == StateWaiting {
+				s.maybeSchedule(ts)
+			}
+		})
+		return
+	}
+	s.assign(ts, wh, "waiting")
+}
+
+// drainQueued assigns withheld root tasks while any worker has slack.
+func (s *Scheduler) drainQueued() {
+	for s.queued.Len() > 0 {
+		ts := s.queued.peek()
+		if ts.state != StateWaiting {
+			s.queued.pop() // released or already handled; drop
+			continue
+		}
+		wh := s.decideWorker(ts)
+		if wh == nil {
+			return
+		}
+		s.queued.pop()
+		s.assign(ts, wh, "queue-slot")
+	}
+}
+
+func (s *Scheduler) assign(ts *schedTask, wh *workerHandle, stimulus string) {
+	ts.processingOn = wh.rank
+	wh.processing[ts.spec.Key] = struct{}{}
+	wh.occupancy += s.estimate(ts.spec.Prefix())
+	s.transition(ts, StateProcessing, stimulus)
+
+	deps := make([]depInfo, 0, len(ts.spec.Deps))
+	for _, d := range ts.spec.Deps {
+		dt := s.tasks[d]
+		holders := make([]int, 0, len(dt.whoHas))
+		for r := range dt.whoHas {
+			holders = append(holders, r)
+		}
+		deps = append(deps, depInfo{key: d, size: dt.size, holders: holders})
+	}
+	a := assignment{spec: ts.spec, graphID: ts.graphID, priority: ts.priority, deps: deps}
+	s.c.control(s.node, wh.w.node, func() { wh.w.handleAssign(a) })
+}
+
+// handleErred processes a worker's task-failure report: the task is
+// retried up to its MaxRetries, then marked erred, which transitively erres
+// every waiting dependent (Dask's upstream-failure propagation) and
+// eventually completes the graph with an error.
+func (s *Scheduler) handleErred(rank int, key TaskKey, msg string) {
+	ts, ok := s.tasks[key]
+	if !ok || ts.state != StateProcessing || ts.processingOn != rank {
+		return
+	}
+	wh := s.workers[rank]
+	delete(wh.processing, key)
+	wh.occupancy -= s.estimate(ts.spec.Prefix())
+	if wh.occupancy < 0 {
+		wh.occupancy = 0
+	}
+	if ts.retries < ts.spec.MaxRetries {
+		ts.retries++
+		s.transition(ts, StateWaiting, "retry")
+		s.maybeSchedule(ts)
+		return
+	}
+	s.markErred(ts, msg)
+	s.drainQueued()
+}
+
+// markErred transitions a task (and, transitively, its waiting dependents)
+// to erred and accounts for graph completion.
+func (s *Scheduler) markErred(ts *schedTask, msg string) {
+	if ts.state == StateErred {
+		return
+	}
+	s.transition(ts, StateErred, "task-erred")
+	gs := s.graphs[ts.graphID]
+	if gs.errMsg == "" {
+		gs.errMsg = fmt.Sprintf("task %s erred: %s", ts.spec.Key, msg)
+	}
+	s.finishGraphTask(ts.graphID)
+	for _, dep := range ts.dependents {
+		dt := s.tasks[dep]
+		if dt.state == StateWaiting {
+			s.markErred(dt, fmt.Sprintf("upstream %s erred", ts.spec.Key))
+		}
+	}
+}
+
+// finishGraphTask decrements a graph's outstanding-task count and notifies
+// the client when the graph drains (successfully or not).
+func (s *Scheduler) finishGraphTask(graphID int) {
+	gs := s.graphs[graphID]
+	gs.remaining--
+	if gs.remaining != 0 {
+		return
+	}
+	now := s.c.kernel.Now()
+	for _, p := range s.c.schedPlugins {
+		p.GraphDone(graphID, now)
+	}
+	errMsg := gs.errMsg
+	s.c.control(s.node, s.c.client.node, func() { s.c.client.graphDone(graphID, errMsg) })
+}
+
+// handleFinished processes a worker's task-completion report.
+func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Time) {
+	ts, ok := s.tasks[key]
+	if !ok || ts.state != StateProcessing || ts.processingOn != rank {
+		return // stale report (e.g. task was stolen mid-flight)
+	}
+	wh := s.workers[rank]
+	delete(wh.processing, key)
+	wh.occupancy -= s.estimate(ts.spec.Prefix())
+	if wh.occupancy < 0 {
+		wh.occupancy = 0
+	}
+	pfx := ts.spec.Prefix()
+	if _, ok := s.prefixDur[pfx]; !ok {
+		s.prefixDur[pfx] = &durAvg{}
+	}
+	s.prefixDur[pfx].add(dur)
+
+	ts.size = size
+	ts.whoHas[rank] = struct{}{}
+	wh.memory += size
+	s.transition(ts, StateMemory, "task-finished")
+
+	for _, dep := range ts.dependents {
+		dt := s.tasks[dep]
+		delete(dt.waitingOn, key)
+		if len(dt.waitingOn) == 0 && dt.state == StateWaiting {
+			s.maybeSchedule(dt)
+		}
+	}
+	// Reference counting: release inputs no longer needed by any pending
+	// dependent (and that are not graph outputs).
+	for _, d := range ts.spec.Deps {
+		dt := s.tasks[d]
+		dt.pendingDependents--
+		if dt.pendingDependents <= 0 && !dt.isOutput && dt.state == StateMemory {
+			s.release(dt)
+		}
+	}
+
+	s.drainQueued()
+	s.finishGraphTask(ts.graphID)
+}
+
+func (s *Scheduler) release(ts *schedTask) {
+	// Broadcast: consumers hold fetched replicas the scheduler never hears
+	// about, so every connected worker gets the free message (Dask's
+	// free-keys fan-out).
+	key := ts.spec.Key
+	for _, wh := range s.workers {
+		if !wh.connected {
+			continue
+		}
+		w := wh.w
+		if _, holds := ts.whoHas[wh.rank]; holds {
+			wh.memory -= ts.size
+		}
+		s.c.control(s.node, w.node, func() { w.handleFree(key) })
+	}
+	ts.whoHas = make(map[int]struct{})
+	s.transition(ts, StateReleased, "no-dependents")
+}
+
+// stealTick is the work-stealing loop: idle workers take queued (not yet
+// executing) tasks from saturated ones. Several moves may be issued per
+// tick (Dask rebalances in batches), with in-flight requests tracked so the
+// same task is not stolen twice.
+func (s *Scheduler) stealTick() {
+	defer s.c.kernel.After(s.c.cfg.StealInterval, s.stealTick)
+	threads := s.c.cfg.ThreadsPerWorker
+	for moves := 0; moves < 2*threads; moves++ {
+		var thief, victim *workerHandle
+		for _, wh := range s.workers {
+			if !wh.connected {
+				continue
+			}
+			load := len(wh.processing) + wh.inbound
+			if load < threads && (thief == nil || load < len(thief.processing)+thief.inbound) {
+				thief = wh
+			}
+			if len(wh.processing)-wh.outbound > threads+1 &&
+				(victim == nil || len(wh.processing)-wh.outbound > len(victim.processing)-victim.outbound) {
+				victim = wh
+			}
+		}
+		if thief == nil || victim == nil || thief == victim {
+			return
+		}
+		// Pick the victim's queued task with the highest priority number
+		// that we believe has not started (the victim confirms) and is not
+		// already being stolen.
+		var pick *schedTask
+		for k := range victim.processing {
+			ts := s.tasks[k]
+			if len(ts.spec.Restrictions) > 0 || s.stealing[k] {
+				continue
+			}
+			if pick == nil || ts.priority > pick.priority {
+				pick = ts // steal from the back of the queue, like Dask
+			}
+		}
+		if pick == nil {
+			return
+		}
+		key := pick.spec.Key
+		s.stealing[key] = true
+		victim.outbound++
+		thief.inbound++
+		vw, tw := victim, thief
+		s.c.control(s.node, vw.w.node, func() {
+			ok := vw.w.handleStealRequest(key)
+			s.c.control(vw.w.node, s.node, func() { s.stealResponse(key, vw, tw, ok) })
+		})
+	}
+}
+
+func (s *Scheduler) stealResponse(key TaskKey, victim, thief *workerHandle, ok bool) {
+	delete(s.stealing, key)
+	victim.outbound--
+	thief.inbound--
+	if !ok {
+		return
+	}
+	ts := s.tasks[key]
+	if ts == nil || ts.state != StateProcessing || ts.processingOn != victim.rank {
+		return
+	}
+	delete(victim.processing, key)
+	victim.occupancy -= s.estimate(ts.spec.Prefix())
+	if victim.occupancy < 0 {
+		victim.occupancy = 0
+	}
+	s.stealCount++
+	now := s.c.kernel.Now()
+	for _, p := range s.c.schedPlugins {
+		p.Stolen(StealEvent{Key: key, Victim: victim.w.addr, Thief: thief.w.addr, At: now})
+	}
+	// Reassign: the task visibly returns to waiting and is immediately
+	// re-dispatched, so the captured transition chain stays well-formed.
+	s.transition(ts, StateWaiting, "stolen")
+	s.assign(ts, thief, "stolen")
+}
+
+// taskHeap orders worker-ready tasks by priority (lower = earlier).
+type taskHeap []*wTask
+
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i].priority < h[j].priority }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(*wTask)) }
+func (h *taskHeap) Pop() any          { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+func (h *taskHeap) pushTask(t *wTask) { heap.Push(h, t) }
+func (h *taskHeap) popTask() *wTask   { return heap.Pop(h).(*wTask) }
+func (h *taskHeap) remove(t *wTask) bool {
+	for i, x := range *h {
+		if x == t {
+			heap.Remove(h, i)
+			return true
+		}
+	}
+	return false
+}
+
+// rootHeap is a priority queue of withheld root tasks.
+type rootHeap []*schedTask
+
+func (h rootHeap) Len() int           { return len(h) }
+func (h rootHeap) Less(i, j int) bool { return h[i].priority < h[j].priority }
+func (h rootHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *rootHeap) Push(x any)        { *h = append(*h, x.(*schedTask)) }
+func (h *rootHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+func (h *rootHeap) push(t *schedTask) { heap.Push(h, t) }
+func (h *rootHeap) pop() *schedTask   { return heap.Pop(h).(*schedTask) }
+func (h rootHeap) peek() *schedTask   { return h[0] }

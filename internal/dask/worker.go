@@ -1,0 +1,468 @@
+package dask
+
+import (
+	"taskprov/internal/platform"
+	"taskprov/internal/posixio"
+	"taskprov/internal/sim"
+)
+
+// assignment is the scheduler -> worker task dispatch message.
+type assignment struct {
+	spec     *TaskSpec
+	graphID  int
+	priority int
+	deps     []depInfo
+}
+
+type depInfo struct {
+	key     TaskKey
+	size    int64
+	holders []int // worker ranks
+}
+
+// wTask is the worker-side task state.
+type wTask struct {
+	spec     *TaskSpec
+	graphID  int
+	priority int
+	state    TaskState
+	missing  int // dependency fetches still in flight
+	stolen   bool
+}
+
+// Worker executes tasks on a fixed pool of threads, fetches remote
+// dependencies, stores results in memory, and reports completions. It also
+// models the two runtime pathologies the paper mines from worker logs: an
+// event loop blocked by non-yielding task bodies, and garbage-collection
+// pauses under memory churn.
+type Worker struct {
+	c      *Cluster
+	rank   int
+	addr   string
+	node   *platform.Node
+	tracer posixio.Tracer
+
+	tasks       map[TaskKey]*wTask
+	ready       taskHeap
+	freeThreads []int
+	data        map[TaskKey]int64
+	fetching    map[TaskKey][]*wTask
+	peers       map[int]bool // worker ranks we already hold a connection to
+
+	memBytes     int64
+	gcAccum      int64
+	gcBusyUntil  sim.Time
+	blockedUntil sim.Time // event loop blocked through this time
+
+	rng     *sim.RNG
+	started bool
+
+	executedCount int
+	transferCount int
+}
+
+func newWorker(c *Cluster, rank int, node *platform.Node, tracer posixio.Tracer) *Worker {
+	w := &Worker{
+		c: c, rank: rank, node: node, tracer: tracer,
+		addr:     workerAddr(node.Hostname, rank),
+		tasks:    make(map[TaskKey]*wTask),
+		data:     make(map[TaskKey]int64),
+		fetching: make(map[TaskKey][]*wTask),
+		peers:    make(map[int]bool),
+		rng:      c.kernel.RNG("dask/worker/" + workerAddr(node.Hostname, rank)),
+	}
+	for t := 0; t < c.cfg.ThreadsPerWorker; t++ {
+		w.freeThreads = append(w.freeThreads, t)
+	}
+	return w
+}
+
+// Addr returns the worker's Dask-style address.
+func (w *Worker) Addr() string { return w.addr }
+
+// Rank returns the worker's index within the cluster.
+func (w *Worker) Rank() int { return w.rank }
+
+// Hostname returns the hostname of the node the worker runs on.
+func (w *Worker) Hostname() string { return w.node.Hostname }
+
+// Node returns the platform node.
+func (w *Worker) Node() *platform.Node { return w.node }
+
+// ThreadID returns the global "pthread ID" of the worker's thread slot,
+// unique across the whole job so Darshan DXT records can be joined
+// unambiguously.
+func (w *Worker) ThreadID(slot int) uint64 {
+	return uint64((w.rank+1)*1000 + slot)
+}
+
+// MemoryBytes reports bytes of task results currently held.
+func (w *Worker) MemoryBytes() int64 { return w.memBytes }
+
+// Executed reports how many tasks this worker completed.
+func (w *Worker) Executed() int { return w.executedCount }
+
+// TransfersReceived reports how many incoming dependency transfers landed.
+func (w *Worker) TransfersReceived() int { return w.transferCount }
+
+// EventLoopBlockedUntil reports the latest time through which a GIL-holding
+// task body has wedged the worker's event loop.
+func (w *Worker) EventLoopBlockedUntil() sim.Time { return w.blockedUntil }
+
+// HasData reports whether the worker holds key's result.
+func (w *Worker) HasData(key TaskKey) bool {
+	_, ok := w.data[key]
+	return ok
+}
+
+// start connects to the scheduler and begins heartbeats.
+func (w *Worker) start() {
+	if w.started {
+		return
+	}
+	w.started = true
+	w.c.control(w.node, w.c.scheduler.node, func() {
+		w.c.scheduler.workerConnected(w.rank)
+	})
+	w.c.kernel.After(w.c.cfg.HeartbeatInterval, w.heartbeat)
+}
+
+func (w *Worker) heartbeat() {
+	m := WorkerMetrics{
+		Worker: w.addr, At: w.c.kernel.Now(),
+		Memory: w.memBytes, Executing: w.c.cfg.ThreadsPerWorker - len(w.freeThreads),
+		Ready: len(w.ready),
+	}
+	for _, p := range w.c.workerPlugins {
+		p.Heartbeat(m)
+	}
+	w.c.control(w.node, w.c.scheduler.node, func() {})
+	w.c.kernel.After(w.c.cfg.HeartbeatInterval, w.heartbeat)
+}
+
+func (w *Worker) transition(wt *wTask, to TaskState, stimulus string) {
+	from := wt.state
+	wt.state = to
+	w.c.emitWorkerTransition(Transition{
+		Key: wt.spec.Key, From: from, To: to,
+		Stimulus: stimulus, Location: w.addr, At: w.c.kernel.Now(),
+	})
+}
+
+// handleAssign receives a task from the scheduler, fetches missing
+// dependencies, and queues it for execution.
+func (w *Worker) handleAssign(a assignment) {
+	wt := &wTask{spec: a.spec, graphID: a.graphID, priority: a.priority, state: StateReleased}
+	w.tasks[a.spec.Key] = wt
+	w.transition(wt, WStateWaiting, "compute-task")
+	for _, d := range a.deps {
+		if _, local := w.data[d.key]; local {
+			continue
+		}
+		wt.missing++
+		w.fetchDep(d, wt)
+	}
+	if wt.missing == 0 {
+		w.makeReady(wt, "all-deps-local")
+	} else {
+		w.transition(wt, WStateFetching, "missing-deps")
+	}
+}
+
+// fetchDep pulls one dependency from a holder. Concurrent requests for the
+// same key share one transfer.
+func (w *Worker) fetchDep(d depInfo, wt *wTask) {
+	if waiters, inFlight := w.fetching[d.key]; inFlight {
+		w.fetching[d.key] = append(waiters, wt)
+		return
+	}
+	w.fetching[d.key] = []*wTask{wt}
+	if len(d.holders) == 0 {
+		// The holder set can be empty if the dep was produced on this very
+		// worker and freed concurrently; treat as fatal inconsistency.
+		panic("dask: dependency " + string(d.key) + " has no holders")
+	}
+	src := w.c.workers[d.holders[w.rng.Intn(len(d.holders))]]
+	start := w.c.kernel.Now()
+	// First contact with this peer pays connection establishment; later
+	// transfers reuse the connection. This makes small transfers early in
+	// the run disproportionately slow (Fig. 5).
+	setup := sim.Time(0)
+	if !w.peers[src.rank] {
+		w.peers[src.rank] = true
+		setup = w.rng.JitterTime(w.c.cfg.ConnectionSetup, 0.4)
+	}
+	w.c.kernel.After(setup, func() {
+		w.c.plat.Transfer(src.node, w.node, d.size, func(sim.Time) {
+			stop := w.c.kernel.Now()
+			w.data[d.key] = d.size
+			w.memBytes += d.size
+			w.transferCount++
+			rec := Transfer{
+				Key: d.key, From: src.addr, To: w.addr, Bytes: d.size,
+				Start: start, Stop: stop, SameNode: src.node == w.node,
+			}
+			for _, p := range w.c.workerPlugins {
+				p.TransferReceived(rec)
+			}
+			waiters := w.fetching[d.key]
+			delete(w.fetching, d.key)
+			for _, waiter := range waiters {
+				waiter.missing--
+				if waiter.missing == 0 && !waiter.stolen {
+					w.makeReady(waiter, "deps-arrived")
+				}
+			}
+		})
+	})
+}
+
+func (w *Worker) makeReady(wt *wTask, stimulus string) {
+	w.transition(wt, WStateReady, stimulus)
+	w.ready.pushTask(wt)
+	w.dispatch()
+}
+
+// dispatch starts ready tasks on free threads, deferring while a GC pause
+// holds the process.
+func (w *Worker) dispatch() {
+	now := w.c.kernel.Now()
+	if w.gcBusyUntil > now {
+		w.c.kernel.At(w.gcBusyUntil, w.dispatch)
+		return
+	}
+	for len(w.freeThreads) > 0 && w.ready.Len() > 0 {
+		wt := w.ready.popTask()
+		slot := w.freeThreads[len(w.freeThreads)-1]
+		w.freeThreads = w.freeThreads[:len(w.freeThreads)-1]
+		w.execute(wt, slot)
+	}
+}
+
+func (w *Worker) execute(wt *wTask, slot int) {
+	w.transition(wt, WStateExecuting, "thread-available")
+	tid := w.ThreadID(slot)
+	w.c.kernel.Go(func(p *sim.Proc) {
+		start := p.Now()
+		ctx := &TaskContext{w: w, proc: p, tid: tid, spec: wt.spec, outputSize: wt.spec.OutputSize}
+		if wt.spec.Run != nil {
+			wt.spec.Run(ctx)
+		} else {
+			d := wt.spec.EstDuration
+			if d <= 0 {
+				d = w.c.cfg.DefaultTaskDuration
+			}
+			ctx.Compute(d)
+		}
+		stop := p.Now()
+
+		if ctx.failure != "" {
+			// The task body raised: report the error instead of a result
+			// (Dask's task-erred path). The thread is released; the
+			// scheduler decides between retry and erred.
+			w.transition(wt, StateErred, "task-erred")
+			delete(w.tasks, wt.spec.Key)
+			w.freeThreads = append(w.freeThreads, slot)
+			w.dispatch()
+			key, msg := wt.spec.Key, ctx.failure
+			w.c.control(w.node, w.c.scheduler.node, func() {
+				w.c.scheduler.handleErred(w.rank, key, msg)
+			})
+			return
+		}
+
+		w.data[wt.spec.Key] = ctx.outputSize
+		w.memBytes += ctx.outputSize
+		w.transition(wt, WStateMemory, "task-done")
+		w.executedCount++
+		rec := TaskExecution{
+			Key: wt.spec.Key, Worker: w.addr, Hostname: w.node.Hostname,
+			ThreadID: tid, Start: start, Stop: stop,
+			OutputSize: ctx.outputSize, GraphID: wt.graphID,
+		}
+		for _, pl := range w.c.workerPlugins {
+			pl.TaskExecuted(rec)
+		}
+		w.maybeGC(ctx.outputSize)
+
+		w.freeThreads = append(w.freeThreads, slot)
+		w.dispatch()
+		key, size, dur := wt.spec.Key, ctx.outputSize, stop-start
+		w.c.control(w.node, w.c.scheduler.node, func() {
+			w.c.scheduler.handleFinished(w.rank, key, size, dur)
+		})
+	})
+}
+
+// maybeGC models CPython GC pressure: every GCThresholdBytes of allocation
+// churn triggers a collection whose pause scales with the held heap. The
+// pause delays task dispatch and is logged as a worker warning — the
+// paper's Fig. 7 "gc_collection" series.
+func (w *Worker) maybeGC(newBytes int64) {
+	w.gcAccum += newBytes
+	if w.gcAccum < w.c.cfg.GCThresholdBytes {
+		return
+	}
+	w.gcAccum = 0
+	pause := w.c.cfg.GCPauseBase + sim.Time(float64(w.c.cfg.GCPausePerGiB)*float64(w.memBytes)/float64(1<<30))
+	now := w.c.kernel.Now()
+	if w.gcBusyUntil < now {
+		w.gcBusyUntil = now
+	}
+	w.gcBusyUntil += pause
+	warn := Warning{
+		Kind: WarnGC, Worker: w.addr, Hostname: w.node.Hostname,
+		At: now, Duration: pause,
+		Message: "full garbage collection took " + pause.String(),
+	}
+	for _, p := range w.c.workerPlugins {
+		p.WorkerWarning(warn)
+	}
+}
+
+// handleFree releases a stored result (scheduler-driven refcount release).
+func (w *Worker) handleFree(key TaskKey) {
+	if size, ok := w.data[key]; ok {
+		delete(w.data, key)
+		w.memBytes -= size
+	}
+	if wt, ok := w.tasks[key]; ok && wt.state == WStateMemory {
+		w.transition(wt, StateReleased, "free-keys")
+		delete(w.tasks, key)
+	}
+}
+
+// handleStealRequest reports whether the task could be surrendered (it must
+// still be queued, not executing or done).
+func (w *Worker) handleStealRequest(key TaskKey) bool {
+	wt, ok := w.tasks[key]
+	if !ok {
+		return false
+	}
+	switch wt.state {
+	case WStateReady:
+		if !w.ready.remove(wt) {
+			return false
+		}
+	case WStateWaiting, WStateFetching:
+		// Surrender before execution; any in-flight dep transfers simply
+		// land as cached data.
+		wt.stolen = true
+	default:
+		return false
+	}
+	delete(w.tasks, key)
+	w.transition(wt, StateReleased, "steal-request")
+	return true
+}
+
+// noteEventLoopBlocked records that a task body held the worker's event
+// loop for [from, to), emitting one "unresponsive event loop" warning per
+// monitor threshold crossed — matching how Tornado's monitor logs repeat
+// while the loop stays wedged. Each GIL-holding segment reports its own
+// episode (concurrent holders each delay the loop in turn).
+func (w *Worker) noteEventLoopBlocked(from, to sim.Time) {
+	thr := w.c.cfg.EventLoopMonitorThreshold
+	if to > w.blockedUntil {
+		w.blockedUntil = to
+	}
+	for t := from + thr; t <= to; t += thr {
+		at := t
+		blockedFor := at - from
+		w.c.kernel.At(at, func() {
+			warn := Warning{
+				Kind: WarnEventLoop, Worker: w.addr, Hostname: w.node.Hostname,
+				At: at, Duration: blockedFor,
+				Message: "event loop was unresponsive for " + blockedFor.String(),
+			}
+			for _, p := range w.c.workerPlugins {
+				p.WorkerWarning(warn)
+			}
+		})
+	}
+}
+
+// TaskContext is the execution context handed to task bodies.
+type TaskContext struct {
+	w          *Worker
+	proc       *sim.Proc
+	tid        uint64
+	spec       *TaskSpec
+	outputSize int64
+	failure    string
+}
+
+// Key returns the executing task's key.
+func (ctx *TaskContext) Key() TaskKey { return ctx.spec.Key }
+
+// ThreadID returns the executing thread's global ID (the "pthread ID" that
+// also appears in Darshan DXT records).
+func (ctx *TaskContext) ThreadID() uint64 { return ctx.tid }
+
+// Worker returns the address of the executing worker.
+func (ctx *TaskContext) Worker() string { return ctx.w.addr }
+
+// Hostname returns the executing node's hostname.
+func (ctx *TaskContext) Hostname() string { return ctx.w.node.Hostname }
+
+// Now returns the current virtual time.
+func (ctx *TaskContext) Now() sim.Time { return ctx.proc.Now() }
+
+// Proc returns the simulation process executing this task, for use with
+// blocking primitives like posixio file methods.
+func (ctx *TaskContext) Proc() *sim.Proc { return ctx.proc }
+
+// RNG returns a deterministic stream unique to this task key, so task-level
+// randomness reproduces per seed without cross-task coupling.
+func (ctx *TaskContext) RNG() *sim.RNG {
+	return ctx.w.c.kernel.RNG("task/" + string(ctx.spec.Key))
+}
+
+// SetOutputSize overrides the task's result size in distributed memory.
+func (ctx *TaskContext) SetOutputSize(n int64) { ctx.outputSize = n }
+
+// Compute spends nominal CPU time: scaled by the node's speed factor,
+// jittered by the configured OS-noise CV, and — for event-loop-blocking
+// tasks — feeding the unresponsive-loop monitor.
+func (ctx *TaskContext) Compute(nominal sim.Time) {
+	d := ctx.w.node.ComputeDuration(nominal)
+	if cv := ctx.w.c.cfg.ComputeJitterCV; cv > 0 {
+		d = ctx.w.rng.JitterTime(d, cv)
+	}
+	if ctx.spec.BlocksEventLoop {
+		now := ctx.proc.Now()
+		ctx.w.noteEventLoopBlocked(now, now+d)
+	}
+	ctx.proc.Sleep(d)
+}
+
+// Open opens a file through the cluster's instrumented POSIX layer on
+// behalf of this task's thread.
+func (ctx *TaskContext) Open(path string, flags int) (*posixio.File, error) {
+	return ctx.w.c.fs.Open(ctx.proc, ctx.w.tracer, ctx.tid, path, flags)
+}
+
+// Measure runs a real Go function on the executing thread and charges its
+// wall-clock duration to the virtual clock — the bridge that lets example
+// programs run genuine computations under full instrumentation.
+func (ctx *TaskContext) Measure(fn func()) {
+	startWall := nowWall()
+	fn()
+	elapsed := nowWall() - startWall
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if ctx.spec.BlocksEventLoop {
+		now := ctx.proc.Now()
+		ctx.w.noteEventLoopBlocked(now, now+sim.Time(elapsed))
+	}
+	ctx.proc.Sleep(sim.Time(elapsed))
+}
+
+// Fail marks the task as failed with the given message; the body should
+// return promptly afterwards. The scheduler will retry the task up to its
+// MaxRetries before marking it erred.
+func (ctx *TaskContext) Fail(msg string) { ctx.failure = msg }
+
+// Failed reports whether Fail was called.
+func (ctx *TaskContext) Failed() bool { return ctx.failure != "" }

@@ -1,0 +1,257 @@
+package mercury
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCall(t *testing.T) {
+	reg := NewRegistry()
+	ep := reg.Listen("local://svc")
+	ep.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	resp, err := reg.Call("local://svc", "echo", []byte("hi"))
+	if err != nil || string(resp) != "hi" {
+		t.Fatalf("echo = %q, %v", resp, err)
+	}
+}
+
+func TestRegistryUnknownEndpointAndRPC(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Call("local://nope", "x", nil); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err = %v, want ErrNoEndpoint", err)
+	}
+	reg.Listen("local://svc")
+	if _, err := reg.Call("local://svc", "x", nil); !errors.Is(err, ErrNoRPC) {
+		t.Fatalf("err = %v, want ErrNoRPC", err)
+	}
+}
+
+func TestRegistryCloseRemoves(t *testing.T) {
+	reg := NewRegistry()
+	reg.Listen("local://svc")
+	reg.Close("local://svc")
+	if _, err := reg.Call("local://svc", "x", nil); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("err after Close = %v", err)
+	}
+}
+
+func TestBoundCaller(t *testing.T) {
+	reg := NewRegistry()
+	ep := reg.Listen("local://svc")
+	ep.Register("double", func(req []byte) ([]byte, error) {
+		return append(req, req...), nil
+	})
+	var c Caller = reg.Bind("local://svc")
+	resp, err := c.Call("double", []byte("ab"))
+	if err != nil || string(resp) != "abab" {
+		t.Fatalf("bound call = %q, %v", resp, err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("sum", func(req []byte) ([]byte, error) {
+		var s byte
+		for _, b := range req {
+			s += b
+		}
+		return []byte{s}, nil
+	})
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	resp, err := cli.Call("sum", []byte{1, 2, 3})
+	if err != nil || len(resp) != 1 || resp[0] != 6 {
+		t.Fatalf("sum = %v, %v", resp, err)
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("fail", func(req []byte) ([]byte, error) {
+		return nil, fmt.Errorf("boom: %s", req)
+	})
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	_, err = cli.Call("fail", []byte("x"))
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom: x" {
+		t.Fatalf("err = %v, want RemoteError(boom: x)", err)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	big := bytes.Repeat([]byte{0xAB}, 4<<20)
+	resp, err := cli.Call("echo", big)
+	if err != nil || !bytes.Equal(resp, big) {
+		t.Fatalf("large echo mismatch (len %d, err %v)", len(resp), err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cli.Close()
+			for j := 0; j < 50; j++ {
+				msg := []byte(fmt.Sprintf("client-%d-msg-%d", i, j))
+				resp, err := cli.Call("echo", msg)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, msg) {
+					errs <- fmt.Errorf("mismatch: %q vs %q", resp, msg)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPClientSharedAcrossGoroutines(t *testing.T) {
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("m%d", i))
+			resp, err := cli.Call("echo", msg)
+			if err != nil || !bytes.Equal(resp, msg) {
+				fail <- fmt.Sprintf("resp=%q err=%v", resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(fail)
+	for f := range fail {
+		t.Fatal(f)
+	}
+}
+
+func TestCallAfterClientClose(t *testing.T) {
+	ep := NewEndpoint("tcp-svc")
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	if _, err := cli.Call("x", nil); err == nil {
+		t.Fatal("call on closed client succeeded")
+	}
+}
+
+func TestIsLocal(t *testing.T) {
+	if !IsLocal("local://svc") || IsLocal("127.0.0.1:80") {
+		t.Fatal("IsLocal misclassifies")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve(NewEndpoint("x"), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameLimitRejected(t *testing.T) {
+	// A corrupt length prefix must not cause a giant allocation.
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFrame(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Forge an oversized prefix.
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'}
+	if _, err := readFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestReListenReplacesEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Listen("local://svc")
+	a.Register("who", func([]byte) ([]byte, error) { return []byte("a"), nil })
+	b := reg.Listen("local://svc")
+	b.Register("who", func([]byte) ([]byte, error) { return []byte("b"), nil })
+	resp, err := reg.Call("local://svc", "who", nil)
+	if err != nil || string(resp) != "b" {
+		t.Fatalf("resp = %q, %v (restart did not replace endpoint)", resp, err)
+	}
+}

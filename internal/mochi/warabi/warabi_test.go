@@ -1,0 +1,174 @@
+package warabi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCreateWriteReadRoundTrip(t *testing.T) {
+	tg := NewTarget("t0")
+	id := tg.Create(16)
+	if err := tg.Write(id, 4, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tg.Read(id, 4, 4)
+	if err != nil || string(got) != "abcd" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	all, err := tg.ReadAll(id)
+	if err != nil || len(all) != 16 {
+		t.Fatalf("ReadAll len = %d, %v", len(all), err)
+	}
+}
+
+func TestCreateWriteFastPath(t *testing.T) {
+	tg := NewTarget("t0")
+	id := tg.CreateWrite([]byte("payload"))
+	got, err := tg.ReadAll(id)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	p, err := tg.Persisted(id)
+	if err != nil || !p {
+		t.Fatalf("CreateWrite region not persisted: %v %v", p, err)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	tg := NewTarget("t0")
+	id := tg.Create(8)
+	if err := tg.Write(id, 6, []byte("xyz")); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("overflow write err = %v", err)
+	}
+	if _, err := tg.Read(id, -1, 2); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("negative read err = %v", err)
+	}
+	if _, err := tg.Read(id, 0, 9); !errors.Is(err, ErrOutOfBounds) {
+		t.Fatalf("long read err = %v", err)
+	}
+}
+
+func TestUnknownRegion(t *testing.T) {
+	tg := NewTarget("t0")
+	if err := tg.Write(99, 0, []byte("x")); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := tg.Read(99, 0, 1); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tg.Persist(99); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tg.Destroy(99); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDestroyReleases(t *testing.T) {
+	tg := NewTarget("t0")
+	id := tg.Create(4)
+	if err := tg.Destroy(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tg.Read(id, 0, 1); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("read after destroy: %v", err)
+	}
+	n, _, _ := tg.Stats()
+	if n != 0 {
+		t.Fatalf("regions after destroy = %d", n)
+	}
+}
+
+func TestPersistFlow(t *testing.T) {
+	tg := NewTarget("t0")
+	id := tg.Create(4)
+	if p, _ := tg.Persisted(id); p {
+		t.Fatal("fresh region already persisted")
+	}
+	if err := tg.Persist(id); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := tg.Persisted(id); !p {
+		t.Fatal("Persist did not stick")
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	tg := NewTarget("t0")
+	id := tg.CreateWrite([]byte("immutable"))
+	got, _ := tg.ReadAll(id)
+	got[0] = 'X'
+	again, _ := tg.ReadAll(id)
+	if string(again) != "immutable" {
+		t.Fatalf("region aliased by returned slice: %q", again)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	tg := NewTarget("t0")
+	id := tg.CreateWrite(bytes.Repeat([]byte{1}, 100))
+	if _, err := tg.Read(id, 0, 40); err != nil {
+		t.Fatal(err)
+	}
+	n, w, r := tg.Stats()
+	if n != 1 || w != 100 || r != 40 {
+		t.Fatalf("Stats = %d regions, %d written, %d read", n, w, r)
+	}
+}
+
+func TestSizeAndIDsMonotonic(t *testing.T) {
+	tg := NewTarget("t0")
+	a := tg.Create(10)
+	b := tg.Create(20)
+	if b <= a {
+		t.Fatalf("IDs not monotonic: %d then %d", a, b)
+	}
+	if s, _ := tg.Size(b); s != 20 {
+		t.Fatalf("Size = %d", s)
+	}
+}
+
+func TestProviderTargets(t *testing.T) {
+	p := NewProvider()
+	a := p.Target("x")
+	if p.Target("x") != a {
+		t.Fatal("Target not idempotent")
+	}
+	p.Target("y")
+	if len(p.Names()) != 2 {
+		t.Fatalf("Names = %v", p.Names())
+	}
+}
+
+func TestConcurrentRegionOps(t *testing.T) {
+	tg := NewTarget("conc")
+	var wg sync.WaitGroup
+	ids := make([]RegionID, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			data := []byte(fmt.Sprintf("goroutine-%d", g))
+			id := tg.CreateWrite(data)
+			ids[g] = id
+			for i := 0; i < 100; i++ {
+				got, err := tg.ReadAll(id)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("concurrent read mismatch: %q %v", got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[RegionID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate region ID %d handed out", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,291 @@
+package yokan
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGetEraseBasics(t *testing.T) {
+	db := NewDatabase("test")
+	db.Put("a", []byte("1"))
+	db.Put("b", []byte("2"))
+	if v, ok := db.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	db.Put("a", []byte("updated"))
+	if v, _ := db.Get("a"); string(v) != "updated" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if db.Count() != 2 {
+		t.Fatalf("Count = %d", db.Count())
+	}
+	if !db.Erase("a") || db.Erase("a") {
+		t.Fatal("Erase semantics wrong")
+	}
+	if db.Exists("a") || !db.Exists("b") {
+		t.Fatal("Exists wrong after erase")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db := NewDatabase("test")
+	orig := []byte("value")
+	db.Put("k", orig)
+	orig[0] = 'X' // caller mutation must not affect stored value
+	v, _ := db.Get("k")
+	if string(v) != "value" {
+		t.Fatalf("stored value aliased caller slice: %q", v)
+	}
+	v[0] = 'Y' // returned copy mutation must not affect store
+	v2, _ := db.Get("k")
+	if string(v2) != "value" {
+		t.Fatalf("returned value aliased store: %q", v2)
+	}
+}
+
+func TestListKeysOrderedWithPrefix(t *testing.T) {
+	db := NewDatabase("test")
+	for _, k := range []string{"task/3", "task/1", "io/9", "task/2", "zz"} {
+		db.Put(k, []byte(k))
+	}
+	got := db.ListKeys("", "task/", 0)
+	want := []string{"task/1", "task/2", "task/3"}
+	if len(got) != 3 {
+		t.Fatalf("ListKeys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ListKeys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestListKeysFromAndMax(t *testing.T) {
+	db := NewDatabase("test")
+	for i := 0; i < 10; i++ {
+		db.Put(fmt.Sprintf("k%02d", i), nil)
+	}
+	got := db.ListKeys("k03", "", 4)
+	if len(got) != 4 || got[0] != "k03" || got[3] != "k06" {
+		t.Fatalf("ListKeys(from k03, max 4) = %v", got)
+	}
+}
+
+func TestListKeyVals(t *testing.T) {
+	db := NewDatabase("test")
+	db.Put("p/a", []byte("va"))
+	db.Put("p/b", []byte("vb"))
+	db.Put("q/c", []byte("vc"))
+	kvs := db.ListKeyVals("", "p/", 0)
+	if len(kvs) != 2 || kvs[0].Key != "p/a" || string(kvs[1].Value) != "vb" {
+		t.Fatalf("ListKeyVals = %+v", kvs)
+	}
+}
+
+func TestSkiplistLargeOrderedScan(t *testing.T) {
+	db := NewDatabase("big")
+	const n = 5000
+	perm := make([]string, n)
+	for i := range perm {
+		perm[i] = fmt.Sprintf("key-%06d", (i*2654435761)%n) // scrambled insert order
+	}
+	for _, k := range perm {
+		db.Put(k, []byte(k))
+	}
+	keys := db.ListKeys("", "", 0)
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("scan not in order")
+	}
+	uniq := map[string]bool{}
+	for _, k := range keys {
+		uniq[k] = true
+	}
+	if len(uniq) != n {
+		t.Fatalf("scan returned %d unique keys, want %d", len(uniq), n)
+	}
+}
+
+func TestCollectionStoreLoadUpdateErase(t *testing.T) {
+	db := NewDatabase("test")
+	c := db.Collection("events")
+	id0 := c.Store([]byte("e0"))
+	id1 := c.Store([]byte("e1"))
+	if id0 != 0 || id1 != 1 {
+		t.Fatalf("ids = %d, %d", id0, id1)
+	}
+	if d, ok := c.Load(id1); !ok || string(d) != "e1" {
+		t.Fatalf("Load = %q, %v", d, ok)
+	}
+	if !c.Update(id0, []byte("e0v2")) {
+		t.Fatal("Update failed")
+	}
+	if d, _ := c.Load(id0); string(d) != "e0v2" {
+		t.Fatalf("after update: %q", d)
+	}
+	if !c.Erase(id0) || c.Erase(id0) {
+		t.Fatal("Erase semantics wrong")
+	}
+	if _, ok := c.Load(id0); ok {
+		t.Fatal("Load after erase succeeded")
+	}
+	if c.Size() != 1 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+	if last, ok := c.LastID(); !ok || last != 1 {
+		t.Fatalf("LastID = %d, %v", last, ok)
+	}
+}
+
+func TestCollectionIterSkipsTombstonesAndBounds(t *testing.T) {
+	c := NewDatabase("t").Collection("c")
+	for i := 0; i < 10; i++ {
+		c.Store([]byte{byte(i)})
+	}
+	c.Erase(4)
+	var ids []uint64
+	c.Iter(2, 5, func(id uint64, doc []byte) bool {
+		ids = append(ids, id)
+		return true
+	})
+	want := []uint64{2, 3, 5, 6, 7}
+	if len(ids) != len(want) {
+		t.Fatalf("Iter ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("Iter ids = %v, want %v", ids, want)
+		}
+	}
+	// Early stop.
+	count := 0
+	c.Iter(0, 0, func(uint64, []byte) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestCollectionEmptyLastID(t *testing.T) {
+	c := NewDatabase("t").Collection("c")
+	if _, ok := c.LastID(); ok {
+		t.Fatal("empty collection reported a LastID")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	db := NewDatabase("snap")
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	c := db.Collection("docs")
+	c.Store([]byte("d0"))
+	c.Store([]byte("d1"))
+	c.Erase(0)
+
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(db, got) {
+		t.Fatal("restored KV differs")
+	}
+	rc := got.Collection("docs")
+	if _, ok := rc.Load(0); ok {
+		t.Fatal("tombstone lost in restore")
+	}
+	if d, ok := rc.Load(1); !ok || string(d) != "d1" {
+		t.Fatalf("restored doc = %q, %v", d, ok)
+	}
+}
+
+func TestRestoreGarbageFails(t *testing.T) {
+	if _, err := Restore(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("Restore of garbage succeeded")
+	}
+}
+
+func TestStoreOpenIsIdempotent(t *testing.T) {
+	s := NewStore()
+	a := s.Open("db1")
+	b := s.Open("db1")
+	if a != b {
+		t.Fatal("Open returned distinct instances for same name")
+	}
+	s.Open("db2")
+	if len(s.Names()) != 2 {
+		t.Fatalf("Names = %v", s.Names())
+	}
+	s.Drop("db1")
+	if len(s.Names()) != 1 {
+		t.Fatalf("after Drop: %v", s.Names())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := NewDatabase("conc")
+	c := db.Collection("docs")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("g%d-k%d", g, i)
+				db.Put(k, []byte(k))
+				if v, ok := db.Get(k); !ok || string(v) != k {
+					t.Errorf("concurrent get lost %q", k)
+					return
+				}
+				c.Store([]byte(k))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Count() != 8*200 {
+		t.Fatalf("Count = %d", db.Count())
+	}
+	if c.Size() != 8*200 {
+		t.Fatalf("collection Size = %d", c.Size())
+	}
+}
+
+// Property: the KV store behaves like a map[string][]byte with ordered scan.
+func TestKVMatchesModelProperty(t *testing.T) {
+	prop := func(ops []struct {
+		Key string
+		Val []byte
+		Del bool
+	}) bool {
+		db := NewDatabase("model")
+		model := map[string][]byte{}
+		for _, op := range ops {
+			if op.Del {
+				delete(model, op.Key)
+				db.Erase(op.Key)
+			} else {
+				model[op.Key] = op.Val
+				db.Put(op.Key, op.Val)
+			}
+		}
+		if db.Count() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := db.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return sort.StringsAreSorted(db.ListKeys("", "", 0))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

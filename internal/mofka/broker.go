@@ -1,0 +1,291 @@
+package mofka
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"taskprov/internal/mochi/bedrock"
+	"taskprov/internal/mochi/warabi"
+	"taskprov/internal/mochi/yokan"
+)
+
+// Errors reported by the broker API.
+var (
+	ErrTopicExists  = errors.New("mofka: topic already exists")
+	ErrNoTopic      = errors.New("mofka: no such topic")
+	ErrNoPartition  = errors.New("mofka: no such partition")
+	ErrClosed       = errors.New("mofka: closed")
+	ErrInvalidEvent = errors.New("mofka: invalid event")
+)
+
+// Broker hosts topics on top of a bedrock deployment's Yokan and Warabi
+// services. All methods are safe for concurrent use.
+type Broker struct {
+	meta *yokan.Database
+	data *warabi.Target
+
+	mu     sync.RWMutex
+	topics map[string]*Topic
+}
+
+// NewBroker builds a broker on the deployment's "metadata" Yokan database
+// and "data" Warabi target (creating them if the deployment config did not).
+func NewBroker(dep *bedrock.Deployment) *Broker {
+	return &Broker{
+		meta:   dep.Yokan.Open("metadata"),
+		data:   dep.Warabi.Target("data"),
+		topics: make(map[string]*Topic),
+	}
+}
+
+// NewStandaloneBroker builds a broker on fresh in-memory services, for uses
+// that do not need a bedrock deployment (tests, embedded collection).
+func NewStandaloneBroker() *Broker {
+	return &Broker{
+		meta:   yokan.NewDatabase("metadata"),
+		data:   warabi.NewTarget("data"),
+		topics: make(map[string]*Topic),
+	}
+}
+
+// CreateTopic creates a topic. Partition count defaults to 1.
+func (b *Broker) CreateTopic(cfg TopicConfig) (*Topic, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("%w: empty topic name", ErrInvalidEvent)
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.topics[cfg.Name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTopicExists, cfg.Name)
+	}
+	t := &Topic{broker: b, cfg: cfg}
+	for i := 0; i < cfg.Partitions; i++ {
+		p := &Partition{
+			topic: t,
+			index: i,
+			docs:  b.meta.Collection(fmt.Sprintf("topic/%s/p%04d", cfg.Name, i)),
+		}
+		p.cond = sync.NewCond(&p.mu)
+		t.partitions = append(t.partitions, p)
+	}
+	// Record the topic in the KV space so it is discoverable post-mortem.
+	cfgJSON, _ := json.Marshal(cfg)
+	b.meta.Put("topics/"+cfg.Name, cfgJSON)
+	b.topics[cfg.Name] = t
+	return t, nil
+}
+
+// OpenTopic returns an existing topic.
+func (b *Broker) OpenTopic(name string) (*Topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTopic, name)
+	}
+	return t, nil
+}
+
+// OpenOrCreateTopic opens the topic, creating it if absent.
+func (b *Broker) OpenOrCreateTopic(cfg TopicConfig) (*Topic, error) {
+	if t, err := b.OpenTopic(cfg.Name); err == nil {
+		return t, nil
+	}
+	t, err := b.CreateTopic(cfg)
+	if errors.Is(err, ErrTopicExists) {
+		return b.OpenTopic(cfg.Name)
+	}
+	return t, err
+}
+
+// Topics lists topic names in sorted order.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []string
+	for n := range b.topics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CommitCursor durably records a consumer's next-unread offset.
+func (b *Broker) CommitCursor(consumer, topic string, partition int, next uint64) {
+	key := fmt.Sprintf("cursor/%s/%s/p%04d", consumer, topic, partition)
+	val, _ := json.Marshal(next)
+	b.meta.Put(key, val)
+}
+
+// LoadCursor returns a consumer's committed next-unread offset (0 if never
+// committed).
+func (b *Broker) LoadCursor(consumer, topic string, partition int) uint64 {
+	key := fmt.Sprintf("cursor/%s/%s/p%04d", consumer, topic, partition)
+	v, ok := b.meta.Get(key)
+	if !ok {
+		return 0
+	}
+	var next uint64
+	if json.Unmarshal(v, &next) != nil {
+		return 0
+	}
+	return next
+}
+
+// Topic is a named event stream divided into partitions.
+type Topic struct {
+	broker     *Broker
+	cfg        TopicConfig
+	partitions []*Partition
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.cfg.Name }
+
+// Partitions returns the partition count.
+func (t *Topic) Partitions() int { return len(t.partitions) }
+
+// Partition returns partition i.
+func (t *Topic) Partition(i int) (*Partition, error) {
+	if i < 0 || i >= len(t.partitions) {
+		return nil, fmt.Errorf("%w: %s[%d]", ErrNoPartition, t.cfg.Name, i)
+	}
+	return t.partitions[i], nil
+}
+
+// Events reports the total number of events across all partitions.
+func (t *Topic) Events() uint64 {
+	var n uint64
+	for _, p := range t.partitions {
+		n += p.Length()
+	}
+	return n
+}
+
+// Partition is one ordered shard of a topic.
+type Partition struct {
+	topic *Topic
+	index int
+	docs  *yokan.Collection
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	length uint64
+}
+
+// Index returns the partition's index within its topic.
+func (p *Partition) Index() int { return p.index }
+
+// Length returns the number of events appended so far.
+func (p *Partition) Length() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.length
+}
+
+// appendBatch persists a batch: payloads are concatenated into one Warabi
+// region; each event's envelope goes into the Yokan collection.
+func (p *Partition) appendBatch(metas [][]byte, datas [][]byte) error {
+	if len(metas) != len(datas) {
+		return fmt.Errorf("%w: %d metadata for %d data payloads", ErrInvalidEvent, len(metas), len(datas))
+	}
+	if len(metas) == 0 {
+		return nil
+	}
+	var total int64
+	for _, d := range datas {
+		total += int64(len(d))
+	}
+	blob := make([]byte, 0, total)
+	offsets := make([]int64, len(datas))
+	for i, d := range datas {
+		offsets[i] = int64(len(blob))
+		blob = append(blob, d...)
+	}
+	region := p.topic.broker.data.CreateWrite(blob)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range metas {
+		env := envelope{Meta: metas[i], Region: uint64(region), Offset: offsets[i], Size: int64(len(datas[i]))}
+		doc, err := json.Marshal(&env)
+		if err != nil {
+			return fmt.Errorf("mofka: encode envelope: %w", err)
+		}
+		p.docs.Store(doc)
+		p.length++
+	}
+	p.cond.Broadcast()
+	return nil
+}
+
+// read returns up to max events starting at offset from. withData controls
+// whether payloads are fetched from Warabi (Mofka's data-selection feature).
+func (p *Partition) read(from uint64, max int, withData bool) ([]Event, error) {
+	if withData {
+		return p.readSelect(from, max, nil)
+	}
+	return p.readSelect(from, max, func([]byte) bool { return false })
+}
+
+// readSelect is read with per-event data selection: selector nil fetches
+// every payload; otherwise only events whose metadata it accepts carry
+// data.
+func (p *Partition) readSelect(from uint64, max int, selector func([]byte) bool) ([]Event, error) {
+	var out []Event
+	var firstErr error
+	p.docs.Iter(from, max, func(id uint64, doc []byte) bool {
+		var env envelope
+		if err := json.Unmarshal(doc, &env); err != nil {
+			firstErr = fmt.Errorf("mofka: corrupt envelope %d: %w", id, err)
+			return false
+		}
+		ev := Event{
+			Topic:     p.topic.cfg.Name,
+			Partition: p.index,
+			ID:        id,
+			Metadata:  append([]byte(nil), env.Meta...),
+		}
+		if (selector == nil || selector(ev.Metadata)) && env.Size > 0 {
+			data, err := p.topic.broker.data.Read(warabi.RegionID(env.Region), env.Offset, env.Size)
+			if err != nil {
+				firstErr = fmt.Errorf("mofka: data for event %d: %w", id, err)
+				return false
+			}
+			ev.Data = data
+		}
+		out = append(out, ev)
+		return true
+	})
+	return out, firstErr
+}
+
+// waitForLength blocks until the partition holds more than n events or the
+// deadline passes, and reports whether new events are available.
+func (p *Partition) waitForLength(n uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.length <= n {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		// sync.Cond has no timed wait; poll with a short-lived waker.
+		waker := time.AfterFunc(remaining, func() {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		p.cond.Wait()
+		waker.Stop()
+	}
+	return true
+}

@@ -1,0 +1,173 @@
+package mofka
+
+import (
+	"fmt"
+	"time"
+)
+
+// ConsumerOptions configures a subscription.
+type ConsumerOptions struct {
+	// Name identifies the consumer for cursor commits. Required for
+	// Commit/resume semantics; anonymous consumers start at 0 every time.
+	Name string
+	// Partitions restricts the subscription; nil means all partitions.
+	Partitions []int
+	// NoData skips fetching payloads (Mofka's data-selection feature):
+	// events arrive with Data == nil. Metadata-only analysis passes use it.
+	NoData bool
+	// DataSelector, when set, is consulted per event with the metadata
+	// bytes; payloads are only fetched for events it accepts (Mofka's
+	// fine-grained data selection). Ignored when NoData is set.
+	DataSelector func(metadata []byte) bool
+	// Prefetch is the per-partition pull granularity for PullBatch and the
+	// internal read-ahead. Default 64.
+	Prefetch int
+	// FromCommitted resumes from the consumer's committed cursors instead
+	// of offset zero.
+	FromCommitted bool
+}
+
+// Consumer pulls events from a topic. It is single-goroutine by design
+// (like a Mofka consumer handle); create one per analysis thread.
+type Consumer struct {
+	topic *Topic
+	opts  ConsumerOptions
+	parts []int
+	next  map[int]uint64 // next unread offset per partition
+	buf   []Event
+	rr    int
+}
+
+// NewConsumer subscribes to the topic.
+func (t *Topic) NewConsumer(opts ConsumerOptions) (*Consumer, error) {
+	if opts.Prefetch <= 0 {
+		opts.Prefetch = 64
+	}
+	parts := opts.Partitions
+	if parts == nil {
+		for i := range t.partitions {
+			parts = append(parts, i)
+		}
+	}
+	c := &Consumer{topic: t, opts: opts, parts: parts, next: make(map[int]uint64)}
+	for _, i := range parts {
+		if i < 0 || i >= len(t.partitions) {
+			return nil, fmt.Errorf("%w: %s[%d]", ErrNoPartition, t.cfg.Name, i)
+		}
+		if opts.FromCommitted && opts.Name != "" {
+			c.next[i] = t.broker.LoadCursor(opts.Name, t.cfg.Name, i)
+		}
+	}
+	return c, nil
+}
+
+// fill tops up the internal buffer by reading round-robin across
+// subscribed partitions.
+func (c *Consumer) fill() error {
+	for range c.parts {
+		pi := c.parts[c.rr%len(c.parts)]
+		c.rr++
+		p := c.topic.partitions[pi]
+		sel := c.opts.DataSelector
+		if c.opts.NoData {
+			sel = func([]byte) bool { return false }
+		}
+		evs, err := p.readSelect(c.next[pi], c.opts.Prefetch, sel)
+		if err != nil {
+			return err
+		}
+		if len(evs) > 0 {
+			c.next[pi] = evs[len(evs)-1].ID + 1
+			c.buf = append(c.buf, evs...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// Pull returns the next event, or ok=false when no unread events exist.
+func (c *Consumer) Pull() (Event, bool, error) {
+	if len(c.buf) == 0 {
+		if err := c.fill(); err != nil {
+			return Event{}, false, err
+		}
+	}
+	if len(c.buf) == 0 {
+		return Event{}, false, nil
+	}
+	ev := c.buf[0]
+	c.buf = c.buf[1:]
+	return ev, true, nil
+}
+
+// PullBlocking behaves like Pull but waits up to timeout for a new event,
+// supporting in-situ consumption while the producer is live.
+func (c *Consumer) PullBlocking(timeout time.Duration) (Event, bool, error) {
+	ev, ok, err := c.Pull()
+	if ok || err != nil {
+		return ev, ok, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		// Wait on whichever subscribed partition might grow.
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return Event{}, false, nil
+		}
+		per := remaining / time.Duration(len(c.parts))
+		if per <= 0 {
+			per = time.Millisecond
+		}
+		for _, pi := range c.parts {
+			p := c.topic.partitions[pi]
+			if p.waitForLength(c.next[pi], per) {
+				return c.Pull()
+			}
+		}
+	}
+}
+
+// PullBatch returns up to max unread events (possibly fewer, empty at end of
+// stream).
+func (c *Consumer) PullBatch(max int) ([]Event, error) {
+	var out []Event
+	for len(out) < max {
+		ev, ok, err := c.Pull()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// Drain pulls every remaining event.
+func (c *Consumer) Drain() ([]Event, error) {
+	var out []Event
+	for {
+		ev, ok, err := c.Pull()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, ev)
+	}
+}
+
+// Commit durably records that every event up to and including ev has been
+// processed by this (named) consumer.
+func (c *Consumer) Commit(ev Event) error {
+	if c.opts.Name == "" {
+		return fmt.Errorf("mofka: anonymous consumer cannot commit")
+	}
+	c.topic.broker.CommitCursor(c.opts.Name, c.topic.cfg.Name, ev.Partition, ev.ID+1)
+	return nil
+}
+
+// Progress returns the next unread offset for a partition.
+func (c *Consumer) Progress(partition int) uint64 { return c.next[partition] }

@@ -1,0 +1,75 @@
+// Package mofka reimplements the interface shape of the Mofka event
+// streaming service from the Mochi project: topics divided into partitions,
+// producers that push events (JSON metadata + raw data payload) with
+// batching, and consumers that pull events individually or in bulk, with
+// committed cursors. Event metadata is persisted in Yokan collections and
+// data payloads in Warabi regions, matching Mofka's actual composition.
+//
+// The provenance framework (internal/core) uses Mofka exactly as the paper
+// describes: the instrumented WMS is the producer, analysis tools are the
+// consumers, and both in-situ (blocking pull) and post-mortem (bulk drain)
+// consumption use the same API.
+package mofka
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Metadata is the JSON-expressible descriptive part of an event.
+type Metadata map[string]any
+
+// Encode serializes metadata to its canonical JSON bytes.
+func (m Metadata) Encode() []byte {
+	b, err := json.Marshal(m)
+	if err != nil {
+		// Metadata maps built by this repo are always JSON-encodable;
+		// reaching here is a programming error.
+		panic(fmt.Sprintf("mofka: unencodable metadata: %v", err))
+	}
+	return b
+}
+
+// DecodeMetadata parses JSON metadata bytes.
+func DecodeMetadata(b []byte) (Metadata, error) {
+	var m Metadata
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("mofka: decode metadata: %w", err)
+	}
+	return m, nil
+}
+
+// Event is one record in a partition.
+type Event struct {
+	Topic     string
+	Partition int
+	ID        uint64 // offset within the partition, dense from 0
+	Metadata  []byte // JSON
+	Data      []byte // raw payload; nil when the consumer declined data
+}
+
+// ParseMetadata decodes the event's metadata JSON.
+func (e Event) ParseMetadata() (Metadata, error) { return DecodeMetadata(e.Metadata) }
+
+// envelope is the persisted per-event index entry stored in Yokan; the data
+// payload itself lives in a Warabi region shared by the whole batch.
+type envelope struct {
+	Meta   json.RawMessage `json:"m"`
+	Region uint64          `json:"r"`
+	Offset int64           `json:"o"`
+	Size   int64           `json:"s"`
+}
+
+// Validator checks event metadata on push. It is Mofka's schema-validation
+// hook; a nil validator accepts everything.
+type Validator func(metadata []byte) error
+
+// TopicConfig describes a topic at creation time.
+type TopicConfig struct {
+	Name       string `json:"name"`
+	Partitions int    `json:"partitions"`
+
+	// Validator runs on every pushed event's metadata (not serialized; RPC
+	// deployments validate broker-side only if installed there).
+	Validator Validator `json:"-"`
+}

@@ -1,0 +1,471 @@
+package mofka
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTopic(t *testing.T, name string, parts int) (*Broker, *Topic) {
+	t.Helper()
+	b := NewStandaloneBroker()
+	tp, err := b.CreateTopic(TopicConfig{Name: name, Partitions: parts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, tp
+}
+
+func TestCreateOpenTopic(t *testing.T) {
+	b, _ := newTopic(t, "tasks", 2)
+	if _, err := b.CreateTopic(TopicConfig{Name: "tasks"}); !errors.Is(err, ErrTopicExists) {
+		t.Fatalf("duplicate create err = %v", err)
+	}
+	tp, err := b.OpenTopic("tasks")
+	if err != nil || tp.Partitions() != 2 {
+		t.Fatalf("open: %v, partitions=%d", err, tp.Partitions())
+	}
+	if _, err := b.OpenTopic("none"); !errors.Is(err, ErrNoTopic) {
+		t.Fatalf("open missing err = %v", err)
+	}
+	if got := b.Topics(); len(got) != 1 || got[0] != "tasks" {
+		t.Fatalf("Topics = %v", got)
+	}
+}
+
+func TestOpenOrCreateTopic(t *testing.T) {
+	b := NewStandaloneBroker()
+	a, err := b.OpenOrCreateTopic(TopicConfig{Name: "t", Partitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := b.OpenOrCreateTopic(TopicConfig{Name: "t", Partitions: 99})
+	if err != nil || c != a {
+		t.Fatalf("second OpenOrCreate: %v, same=%v", err, c == a)
+	}
+}
+
+func TestProduceConsumeRoundTrip(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{})
+	for i := 0; i < 10; i++ {
+		err := p.Push(Metadata{"i": i, "kind": "test"}, []byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := tp.NewConsumer(ConsumerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := c.Drain()
+	if err != nil || len(evs) != 10 {
+		t.Fatalf("drained %d events, err %v", len(evs), err)
+	}
+	for i, ev := range evs {
+		m, err := ev.ParseMetadata()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(m["i"].(float64)) != i {
+			t.Fatalf("event %d metadata = %v", i, m)
+		}
+		if string(ev.Data) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("event %d data = %q", i, ev.Data)
+		}
+	}
+}
+
+func TestEventsInvisibleUntilFlush(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 100})
+	p.Push(Metadata{"x": 1}, nil)
+	c, _ := tp.NewConsumer(ConsumerOptions{})
+	if _, ok, _ := c.Pull(); ok {
+		t.Fatal("unflushed event visible")
+	}
+	p.Flush()
+	if _, ok, _ := c.Pull(); !ok {
+		t.Fatal("flushed event invisible")
+	}
+}
+
+func TestBatchSizeTriggersAutoFlush(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 5})
+	for i := 0; i < 5; i++ {
+		p.Push(Metadata{"i": i}, nil)
+	}
+	if n := tp.Events(); n != 5 {
+		t.Fatalf("events after size trigger = %d, want 5", n)
+	}
+	_, flushes := p.Stats()
+	if flushes != 1 {
+		t.Fatalf("flushes = %d", flushes)
+	}
+}
+
+func TestMaxBatchBytesTriggersAutoFlush(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 1000, MaxBatchBytes: 100})
+	p.Push(Metadata{}, make([]byte, 150))
+	if n := tp.Events(); n != 1 {
+		t.Fatalf("events after byte trigger = %d", n)
+	}
+}
+
+func TestRoundRobinPartitioning(t *testing.T) {
+	_, tp := newTopic(t, "t", 4)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 1})
+	for i := 0; i < 8; i++ {
+		p.Push(Metadata{"i": i}, nil)
+	}
+	for i := 0; i < 4; i++ {
+		part, _ := tp.Partition(i)
+		if part.Length() != 2 {
+			t.Fatalf("partition %d length = %d, want 2", i, part.Length())
+		}
+	}
+}
+
+func TestCustomPartitioner(t *testing.T) {
+	_, tp := newTopic(t, "t", 2)
+	p := tp.NewProducer(ProducerOptions{
+		BatchSize:   1,
+		Partitioner: func(meta []byte, n int) int { return len(meta) % n },
+	})
+	p.Push(Metadata{"a": 1}, nil)
+	p.Flush()
+	total := tp.Events()
+	if total != 1 {
+		t.Fatalf("events = %d", total)
+	}
+}
+
+func TestBadPartitionerRejected(t *testing.T) {
+	_, tp := newTopic(t, "t", 2)
+	p := tp.NewProducer(ProducerOptions{Partitioner: func([]byte, int) int { return 7 }})
+	if err := p.Push(Metadata{}, nil); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidatorRejectsBadMetadata(t *testing.T) {
+	b := NewStandaloneBroker()
+	tp, err := b.CreateTopic(TopicConfig{
+		Name: "validated",
+		Validator: func(meta []byte) error {
+			if len(meta) < 5 {
+				return errors.New("too small")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tp.NewProducer(ProducerOptions{})
+	if err := p.PushRaw([]byte(`{}`), nil); !errors.Is(err, ErrInvalidEvent) {
+		t.Fatalf("validator not applied: %v", err)
+	}
+	if err := p.PushRaw([]byte(`{"ok":1}`), nil); err != nil {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+}
+
+func TestPushAfterCloseFails(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{})
+	p.Push(Metadata{"i": 1}, nil)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := tp.Events(); n != 1 {
+		t.Fatalf("Close did not flush: events = %d", n)
+	}
+	if err := p.Push(Metadata{"i": 2}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestBackgroundFlusher(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 1000, FlushInterval: 5 * time.Millisecond})
+	defer p.Close()
+	p.Push(Metadata{"x": 1}, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for tp.Events() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never shipped the event")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestConsumerNoData(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{})
+	p.Push(Metadata{"k": "v"}, []byte("big payload"))
+	p.Flush()
+	c, _ := tp.NewConsumer(ConsumerOptions{NoData: true})
+	ev, ok, err := c.Pull()
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if ev.Data != nil {
+		t.Fatalf("NoData consumer got payload %q", ev.Data)
+	}
+	if len(ev.Metadata) == 0 {
+		t.Fatal("metadata missing")
+	}
+}
+
+func TestConsumerPartitionSubset(t *testing.T) {
+	_, tp := newTopic(t, "t", 4)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 1})
+	for i := 0; i < 8; i++ {
+		p.Push(Metadata{"i": i}, nil)
+	}
+	c, err := tp.NewConsumer(ConsumerOptions{Partitions: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, _ := c.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("subset consumer got %d events, want 4", len(evs))
+	}
+	for _, ev := range evs {
+		if ev.Partition != 1 && ev.Partition != 3 {
+			t.Fatalf("event from partition %d", ev.Partition)
+		}
+	}
+}
+
+func TestConsumerInvalidPartition(t *testing.T) {
+	_, tp := newTopic(t, "t", 2)
+	if _, err := tp.NewConsumer(ConsumerOptions{Partitions: []int{5}}); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCommitAndResume(t *testing.T) {
+	b, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{})
+	for i := 0; i < 10; i++ {
+		p.Push(Metadata{"i": i}, nil)
+	}
+	p.Flush()
+
+	c1, _ := tp.NewConsumer(ConsumerOptions{Name: "analysis"})
+	for i := 0; i < 4; i++ {
+		ev, ok, _ := c1.Pull()
+		if !ok {
+			t.Fatal("pull failed")
+		}
+		if err := c1.Commit(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.LoadCursor("analysis", "t", 0); got != 4 {
+		t.Fatalf("cursor = %d, want 4", got)
+	}
+
+	c2, _ := tp.NewConsumer(ConsumerOptions{Name: "analysis", FromCommitted: true})
+	evs, _ := c2.Drain()
+	if len(evs) != 6 {
+		t.Fatalf("resumed consumer got %d events, want 6", len(evs))
+	}
+	m, _ := evs[0].ParseMetadata()
+	if int(m["i"].(float64)) != 4 {
+		t.Fatalf("resume started at %v", m)
+	}
+}
+
+func TestAnonymousCommitFails(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	c, _ := tp.NewConsumer(ConsumerOptions{})
+	if err := c.Commit(Event{}); err == nil {
+		t.Fatal("anonymous commit succeeded")
+	}
+}
+
+func TestPullBatchAndProgress(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{})
+	for i := 0; i < 25; i++ {
+		p.Push(Metadata{"i": i}, nil)
+	}
+	p.Flush()
+	c, _ := tp.NewConsumer(ConsumerOptions{Prefetch: 10})
+	batch, err := c.PullBatch(20)
+	if err != nil || len(batch) != 20 {
+		t.Fatalf("batch = %d events, %v", len(batch), err)
+	}
+	rest, _ := c.Drain()
+	if len(rest) != 5 {
+		t.Fatalf("rest = %d", len(rest))
+	}
+	if c.Progress(0) != 25 {
+		t.Fatalf("progress = %d", c.Progress(0))
+	}
+}
+
+func TestPullBlockingSeesLiveEvents(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	c, _ := tp.NewConsumer(ConsumerOptions{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		p := tp.NewProducer(ProducerOptions{})
+		p.Push(Metadata{"live": true}, nil)
+		p.Flush()
+	}()
+	ev, ok, err := c.PullBlocking(2 * time.Second)
+	if err != nil || !ok {
+		t.Fatalf("PullBlocking: ok=%v err=%v", ok, err)
+	}
+	m, _ := ev.ParseMetadata()
+	if m["live"] != true {
+		t.Fatalf("metadata = %v", m)
+	}
+}
+
+func TestPullBlockingTimesOut(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	c, _ := tp.NewConsumer(ConsumerOptions{})
+	start := time.Now()
+	_, ok, err := c.PullBlocking(30 * time.Millisecond)
+	if err != nil || ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("returned before timeout")
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	_, tp := newTopic(t, "t", 4)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 16})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 250
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := p.Push(Metadata{"g": g, "i": i}, []byte{byte(i)}); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	p.Flush()
+	if n := tp.Events(); n != goroutines*per {
+		t.Fatalf("events = %d, want %d", n, goroutines*per)
+	}
+	c, _ := tp.NewConsumer(ConsumerOptions{})
+	evs, err := c.Drain()
+	if err != nil || len(evs) != goroutines*per {
+		t.Fatalf("drained %d, err %v", len(evs), err)
+	}
+}
+
+func TestPerPartitionOrderingPreserved(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{BatchSize: 7})
+	const n = 100
+	for i := 0; i < n; i++ {
+		p.Push(Metadata{"seq": i}, nil)
+	}
+	p.Flush()
+	c, _ := tp.NewConsumer(ConsumerOptions{})
+	evs, _ := c.Drain()
+	if len(evs) != n {
+		t.Fatalf("got %d events", len(evs))
+	}
+	for i, ev := range evs {
+		m, _ := ev.ParseMetadata()
+		if int(m["seq"].(float64)) != i {
+			t.Fatalf("event %d has seq %v: ordering broken", i, m["seq"])
+		}
+		if ev.ID != uint64(i) {
+			t.Fatalf("event %d has ID %d", i, ev.ID)
+		}
+	}
+}
+
+func TestMetadataEncodeDecode(t *testing.T) {
+	m := Metadata{"key": "k1", "n": 3.5, "nested": map[string]any{"a": true}}
+	b := m.Encode()
+	got, err := DecodeMetadata(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["key"] != "k1" || got["n"] != 3.5 {
+		t.Fatalf("round trip = %v", got)
+	}
+	if _, err := DecodeMetadata([]byte("{bad")); err == nil {
+		t.Fatal("bad metadata decoded")
+	}
+}
+
+func TestEmptyTopicNameRejected(t *testing.T) {
+	b := NewStandaloneBroker()
+	if _, err := b.CreateTopic(TopicConfig{}); err == nil {
+		t.Fatal("empty topic name accepted")
+	}
+}
+
+func TestConsumerDataSelector(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{})
+	for i := 0; i < 10; i++ {
+		p.Push(Metadata{"i": i}, []byte(fmt.Sprintf("payload-%d", i)))
+	}
+	p.Flush()
+	c, err := tp.NewConsumer(ConsumerOptions{
+		DataSelector: func(meta []byte) bool {
+			m, _ := DecodeMetadata(meta)
+			return int(m["i"].(float64))%2 == 0
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := c.Drain()
+	if err != nil || len(evs) != 10 {
+		t.Fatalf("drained %d, %v", len(evs), err)
+	}
+	for i, ev := range evs {
+		if i%2 == 0 && string(ev.Data) != fmt.Sprintf("payload-%d", i) {
+			t.Fatalf("selected event %d missing data: %q", i, ev.Data)
+		}
+		if i%2 == 1 && ev.Data != nil {
+			t.Fatalf("unselected event %d carries data", i)
+		}
+	}
+}
+
+func TestNoDataOverridesSelector(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	p := tp.NewProducer(ProducerOptions{})
+	p.Push(Metadata{"x": 1}, []byte("payload"))
+	p.Flush()
+	c, _ := tp.NewConsumer(ConsumerOptions{
+		NoData:       true,
+		DataSelector: func([]byte) bool { return true },
+	})
+	ev, ok, err := c.Pull()
+	if err != nil || !ok || ev.Data != nil {
+		t.Fatalf("NoData did not win: %v %v %q", ok, err, ev.Data)
+	}
+}

@@ -1,0 +1,184 @@
+package mofka
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ProducerOptions tunes batching. Mofka's real producer batches events and
+// ships them with background threads; the same knobs exist here.
+type ProducerOptions struct {
+	// BatchSize flushes a partition's pending batch when it reaches this
+	// many events. Default 128.
+	BatchSize int
+	// MaxBatchBytes flushes when pending payload bytes reach this size.
+	// Default 4 MiB.
+	MaxBatchBytes int64
+	// FlushInterval, when positive, starts a background goroutine flushing
+	// all partitions periodically. Zero (default) means size-triggered and
+	// manual flushes only — the deterministic mode simulations use.
+	FlushInterval time.Duration
+	// Partitioner picks the partition for an event. The default cycles
+	// round-robin, matching Mofka's default.
+	Partitioner func(metadata []byte, partitions int) int
+}
+
+func (o *ProducerOptions) setDefaults() {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 128
+	}
+	if o.MaxBatchBytes <= 0 {
+		o.MaxBatchBytes = 4 << 20
+	}
+}
+
+// Producer pushes events into a topic with batching. Safe for concurrent
+// use.
+type Producer struct {
+	topic *Topic
+	opts  ProducerOptions
+
+	mu      sync.Mutex
+	pending []pendingBatch
+	rr      int
+	closed  bool
+	pushed  uint64
+	flushes uint64
+
+	stopFlusher chan struct{}
+	flusherDone chan struct{}
+}
+
+type pendingBatch struct {
+	metas [][]byte
+	datas [][]byte
+	bytes int64
+}
+
+// NewProducer creates a producer for the topic.
+func (t *Topic) NewProducer(opts ProducerOptions) *Producer {
+	opts.setDefaults()
+	p := &Producer{
+		topic:   t,
+		opts:    opts,
+		pending: make([]pendingBatch, len(t.partitions)),
+	}
+	if opts.FlushInterval > 0 {
+		p.stopFlusher = make(chan struct{})
+		p.flusherDone = make(chan struct{})
+		go p.flushLoop()
+	}
+	return p
+}
+
+func (p *Producer) flushLoop() {
+	defer close(p.flusherDone)
+	tick := time.NewTicker(p.opts.FlushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			p.Flush() //nolint:errcheck // periodic flush retries next tick
+		case <-p.stopFlusher:
+			return
+		}
+	}
+}
+
+// Push enqueues one event. The metadata and data slices are copied. The
+// event becomes visible to consumers after its batch flushes (by size
+// trigger, interval, Flush, or Close).
+func (p *Producer) Push(metadata Metadata, data []byte) error {
+	return p.PushRaw(metadata.Encode(), data)
+}
+
+// PushRaw enqueues one event with pre-encoded JSON metadata.
+func (p *Producer) PushRaw(metadata, data []byte) error {
+	if v := p.topic.cfg.Validator; v != nil {
+		if err := v(metadata); err != nil {
+			return fmt.Errorf("%w: %v", ErrInvalidEvent, err)
+		}
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	var idx int
+	if p.opts.Partitioner != nil {
+		idx = p.opts.Partitioner(metadata, len(p.topic.partitions))
+		if idx < 0 || idx >= len(p.topic.partitions) {
+			p.mu.Unlock()
+			return fmt.Errorf("%w: partitioner chose %d of %d", ErrNoPartition, idx, len(p.topic.partitions))
+		}
+	} else {
+		idx = p.rr
+		p.rr = (p.rr + 1) % len(p.topic.partitions)
+	}
+	b := &p.pending[idx]
+	b.metas = append(b.metas, append([]byte(nil), metadata...))
+	b.datas = append(b.datas, append([]byte(nil), data...))
+	b.bytes += int64(len(data))
+	p.pushed++
+	needFlush := len(b.metas) >= p.opts.BatchSize || b.bytes >= p.opts.MaxBatchBytes
+	var metas, datas [][]byte
+	if needFlush {
+		metas, datas = b.metas, b.datas
+		p.pending[idx] = pendingBatch{}
+		p.flushes++
+	}
+	p.mu.Unlock()
+	if needFlush {
+		return p.topic.partitions[idx].appendBatch(metas, datas)
+	}
+	return nil
+}
+
+// Flush ships every pending batch.
+func (p *Producer) Flush() error {
+	p.mu.Lock()
+	type job struct {
+		idx          int
+		metas, datas [][]byte
+	}
+	var jobs []job
+	for i := range p.pending {
+		if len(p.pending[i].metas) > 0 {
+			jobs = append(jobs, job{i, p.pending[i].metas, p.pending[i].datas})
+			p.pending[i] = pendingBatch{}
+			p.flushes++
+		}
+	}
+	p.mu.Unlock()
+	for _, j := range jobs {
+		if err := p.topic.partitions[j.idx].appendBatch(j.metas, j.datas); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close flushes pending events and stops the background flusher. Further
+// pushes fail with ErrClosed.
+func (p *Producer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if p.stopFlusher != nil {
+		close(p.stopFlusher)
+		<-p.flusherDone
+	}
+	return p.Flush()
+}
+
+// Stats reports events pushed and batches flushed, for overhead ablations.
+func (p *Producer) Stats() (pushed, flushes uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pushed, p.flushes
+}

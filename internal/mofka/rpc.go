@@ -1,0 +1,208 @@
+package mofka
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"taskprov/internal/mochi/mercury"
+)
+
+// RPC names exposed by RegisterRPCs.
+const (
+	rpcCreateTopic = "mofka.create_topic"
+	rpcTopics      = "mofka.topics"
+	rpcTopicInfo   = "mofka.topic_info"
+	rpcPush        = "mofka.push"
+	rpcPull        = "mofka.pull"
+	rpcCommit      = "mofka.commit"
+	rpcCursor      = "mofka.cursor"
+)
+
+type pushRequest struct {
+	Topic     string            `json:"topic"`
+	Partition int               `json:"partition"`
+	Metas     []json.RawMessage `json:"metas"`
+	Datas     [][]byte          `json:"datas"`
+}
+
+type pullRequest struct {
+	Topic     string `json:"topic"`
+	Partition int    `json:"partition"`
+	From      uint64 `json:"from"`
+	Max       int    `json:"max"`
+	WithData  bool   `json:"with_data"`
+}
+
+type pullResponse struct {
+	Events []Event `json:"events"`
+}
+
+type commitRequest struct {
+	Consumer  string `json:"consumer"`
+	Topic     string `json:"topic"`
+	Partition int    `json:"partition"`
+	Next      uint64 `json:"next"`
+}
+
+type topicInfo struct {
+	Name       string `json:"name"`
+	Partitions int    `json:"partitions"`
+	Events     uint64 `json:"events"`
+}
+
+// RegisterRPCs exposes the broker on a Mercury endpoint, making it usable as
+// a standalone daemon (cmd/mofkad) or a shared in-process service.
+func (b *Broker) RegisterRPCs(ep *mercury.Endpoint) {
+	ep.Register(rpcCreateTopic, func(req []byte) ([]byte, error) {
+		var cfg TopicConfig
+		if err := json.Unmarshal(req, &cfg); err != nil {
+			return nil, err
+		}
+		if _, err := b.OpenOrCreateTopic(cfg); err != nil {
+			return nil, err
+		}
+		return []byte(`{}`), nil
+	})
+	ep.Register(rpcTopics, func([]byte) ([]byte, error) {
+		return json.Marshal(b.Topics())
+	})
+	ep.Register(rpcTopicInfo, func(req []byte) ([]byte, error) {
+		var name string
+		if err := json.Unmarshal(req, &name); err != nil {
+			return nil, err
+		}
+		t, err := b.OpenTopic(name)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(topicInfo{Name: t.Name(), Partitions: t.Partitions(), Events: t.Events()})
+	})
+	ep.Register(rpcPush, func(req []byte) ([]byte, error) {
+		var pr pushRequest
+		if err := json.Unmarshal(req, &pr); err != nil {
+			return nil, err
+		}
+		t, err := b.OpenTopic(pr.Topic)
+		if err != nil {
+			return nil, err
+		}
+		p, err := t.Partition(pr.Partition)
+		if err != nil {
+			return nil, err
+		}
+		metas := make([][]byte, len(pr.Metas))
+		for i, m := range pr.Metas {
+			metas[i] = m
+		}
+		if err := p.appendBatch(metas, pr.Datas); err != nil {
+			return nil, err
+		}
+		return []byte(`{}`), nil
+	})
+	ep.Register(rpcPull, func(req []byte) ([]byte, error) {
+		var pr pullRequest
+		if err := json.Unmarshal(req, &pr); err != nil {
+			return nil, err
+		}
+		t, err := b.OpenTopic(pr.Topic)
+		if err != nil {
+			return nil, err
+		}
+		p, err := t.Partition(pr.Partition)
+		if err != nil {
+			return nil, err
+		}
+		evs, err := p.read(pr.From, pr.Max, pr.WithData)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(pullResponse{Events: evs})
+	})
+	ep.Register(rpcCommit, func(req []byte) ([]byte, error) {
+		var cr commitRequest
+		if err := json.Unmarshal(req, &cr); err != nil {
+			return nil, err
+		}
+		b.CommitCursor(cr.Consumer, cr.Topic, cr.Partition, cr.Next)
+		return []byte(`{}`), nil
+	})
+	ep.Register(rpcCursor, func(req []byte) ([]byte, error) {
+		var cr commitRequest
+		if err := json.Unmarshal(req, &cr); err != nil {
+			return nil, err
+		}
+		return json.Marshal(b.LoadCursor(cr.Consumer, cr.Topic, cr.Partition))
+	})
+}
+
+// Remote is a client for a broker reached through a Mercury caller.
+type Remote struct {
+	c mercury.Caller
+}
+
+// NewRemote wraps a Mercury caller as a Mofka client.
+func NewRemote(c mercury.Caller) *Remote { return &Remote{c: c} }
+
+func (r *Remote) call(rpc string, req, resp any) error {
+	reqb, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("mofka: encode %s: %w", rpc, err)
+	}
+	respb, err := r.c.Call(rpc, reqb)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.Unmarshal(respb, resp)
+}
+
+// CreateTopic creates (or opens) a topic on the remote broker.
+func (r *Remote) CreateTopic(cfg TopicConfig) error {
+	return r.call(rpcCreateTopic, cfg, nil)
+}
+
+// Topics lists remote topics.
+func (r *Remote) Topics() ([]string, error) {
+	var out []string
+	err := r.call(rpcTopics, struct{}{}, &out)
+	return out, err
+}
+
+// TopicInfo returns partition and event counts for a topic.
+func (r *Remote) TopicInfo(name string) (partitions int, events uint64, err error) {
+	var info topicInfo
+	if err := r.call(rpcTopicInfo, name, &info); err != nil {
+		return 0, 0, err
+	}
+	return info.Partitions, info.Events, nil
+}
+
+// PushBatch appends a batch of events to one partition.
+func (r *Remote) PushBatch(topic string, partition int, metas [][]byte, datas [][]byte) error {
+	pr := pushRequest{Topic: topic, Partition: partition, Datas: datas}
+	for _, m := range metas {
+		pr.Metas = append(pr.Metas, m)
+	}
+	return r.call(rpcPush, pr, nil)
+}
+
+// Pull fetches up to max events of one partition starting at offset from.
+func (r *Remote) Pull(topic string, partition int, from uint64, max int, withData bool) ([]Event, error) {
+	var resp pullResponse
+	err := r.call(rpcPull, pullRequest{Topic: topic, Partition: partition, From: from, Max: max, WithData: withData}, &resp)
+	return resp.Events, err
+}
+
+// Commit records a consumer cursor remotely.
+func (r *Remote) Commit(consumer, topic string, partition int, next uint64) error {
+	return r.call(rpcCommit, commitRequest{Consumer: consumer, Topic: topic, Partition: partition, Next: next}, nil)
+}
+
+// Cursor fetches a consumer's committed cursor.
+func (r *Remote) Cursor(consumer, topic string, partition int) (uint64, error) {
+	var next uint64
+	err := r.call(rpcCursor, commitRequest{Consumer: consumer, Topic: topic, Partition: partition}, &next)
+	return next, err
+}

@@ -1,0 +1,125 @@
+package mofka
+
+import (
+	"testing"
+
+	"taskprov/internal/mochi/mercury"
+)
+
+func newRemotePair(t *testing.T) (*Broker, *Remote) {
+	t.Helper()
+	b := NewStandaloneBroker()
+	reg := mercury.NewRegistry()
+	ep := reg.Listen("local://mofka")
+	b.RegisterRPCs(ep)
+	return b, NewRemote(reg.Bind("local://mofka"))
+}
+
+func TestRemoteCreateAndList(t *testing.T) {
+	_, r := newRemotePair(t)
+	if err := r.CreateTopic(TopicConfig{Name: "tasks", Partitions: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent through OpenOrCreate semantics.
+	if err := r.CreateTopic(TopicConfig{Name: "tasks"}); err != nil {
+		t.Fatal(err)
+	}
+	topics, err := r.Topics()
+	if err != nil || len(topics) != 1 || topics[0] != "tasks" {
+		t.Fatalf("Topics = %v, %v", topics, err)
+	}
+	parts, events, err := r.TopicInfo("tasks")
+	if err != nil || parts != 2 || events != 0 {
+		t.Fatalf("TopicInfo = %d, %d, %v", parts, events, err)
+	}
+}
+
+func TestRemotePushPull(t *testing.T) {
+	_, r := newRemotePair(t)
+	if err := r.CreateTopic(TopicConfig{Name: "t", Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	metas := [][]byte{[]byte(`{"i":0}`), []byte(`{"i":1}`)}
+	datas := [][]byte{[]byte("d0"), []byte("d1")}
+	if err := r.PushBatch("t", 0, metas, datas); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := r.Pull("t", 0, 0, 10, true)
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("Pull = %d events, %v", len(evs), err)
+	}
+	if string(evs[1].Data) != "d1" || string(evs[0].Metadata) != `{"i":0}` {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Offset-based pull.
+	evs, err = r.Pull("t", 0, 1, 10, false)
+	if err != nil || len(evs) != 1 || evs[0].ID != 1 {
+		t.Fatalf("offset pull = %+v, %v", evs, err)
+	}
+	if evs[0].Data != nil {
+		t.Fatal("withData=false returned data")
+	}
+}
+
+func TestRemoteCursor(t *testing.T) {
+	_, r := newRemotePair(t)
+	if err := r.CreateTopic(TopicConfig{Name: "t", Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Commit("c1", "t", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	next, err := r.Cursor("c1", "t", 0)
+	if err != nil || next != 42 {
+		t.Fatalf("Cursor = %d, %v", next, err)
+	}
+	next, err = r.Cursor("nobody", "t", 0)
+	if err != nil || next != 0 {
+		t.Fatalf("unknown consumer cursor = %d, %v", next, err)
+	}
+}
+
+func TestRemoteErrorsPropagate(t *testing.T) {
+	_, r := newRemotePair(t)
+	if _, err := r.Pull("ghost", 0, 0, 1, false); err == nil {
+		t.Fatal("pull from missing topic succeeded")
+	}
+	if err := r.PushBatch("ghost", 0, nil, nil); err == nil {
+		t.Fatal("push to missing topic succeeded")
+	}
+	if _, _, err := r.TopicInfo("ghost"); err == nil {
+		t.Fatal("info for missing topic succeeded")
+	}
+}
+
+func TestRemoteOverTCP(t *testing.T) {
+	b := NewStandaloneBroker()
+	ep := mercury.NewEndpoint("mofkad")
+	b.RegisterRPCs(ep)
+	srv, err := mercury.Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := mercury.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	r := NewRemote(cli)
+	if err := r.CreateTopic(TopicConfig{Name: "net", Partitions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PushBatch("net", 0, [][]byte{[]byte(`{"a":1}`)}, [][]byte{[]byte("payload")}); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := r.Pull("net", 0, 0, 10, true)
+	if err != nil || len(evs) != 1 || string(evs[0].Data) != "payload" {
+		t.Fatalf("TCP pull = %+v, %v", evs, err)
+	}
+	// Broker-side view agrees.
+	tp, err := b.OpenTopic("net")
+	if err != nil || tp.Events() != 1 {
+		t.Fatalf("broker topic events = %d, %v", tp.Events(), err)
+	}
+}

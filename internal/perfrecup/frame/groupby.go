@@ -1,0 +1,254 @@
+package frame
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AggFunc identifies a group aggregation.
+type AggFunc int
+
+// Aggregations supported by GroupBy.Agg.
+const (
+	Sum AggFunc = iota
+	Mean
+	Min
+	Max
+	Count
+	Std // sample standard deviation
+	First
+)
+
+// String returns the aggregation's column-name suffix.
+func (a AggFunc) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Mean:
+		return "mean"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Count:
+		return "count"
+	case Std:
+		return "std"
+	case First:
+		return "first"
+	default:
+		return fmt.Sprintf("agg(%d)", int(a))
+	}
+}
+
+// Agg pairs a source column with an aggregation.
+type Agg struct {
+	Col string
+	Fn  AggFunc
+	// As optionally names the output column; default "<col>_<fn>".
+	As string
+}
+
+// GroupBy is a deferred grouping over one or more key columns.
+type GroupBy struct {
+	f    *Frame
+	keys []string
+}
+
+// GroupBy starts a grouped aggregation over the key columns.
+func (f *Frame) GroupBy(keys ...string) *GroupBy {
+	for _, k := range keys {
+		f.Col(k) // validate
+	}
+	return &GroupBy{f: f, keys: keys}
+}
+
+// Groups returns the row indices of each group, keyed by the concatenated
+// key string, plus a deterministic (first-appearance) ordering of keys.
+func (g *GroupBy) groups() (map[string][]int, []string) {
+	byKey := make(map[string][]int)
+	var order []string
+	keyCols := make([]*Series, len(g.keys))
+	for i, k := range g.keys {
+		keyCols[i] = g.f.Col(k)
+	}
+	for r := 0; r < g.f.NRows(); r++ {
+		key := ""
+		for _, c := range keyCols {
+			key += c.keyString(r) + "\x00"
+		}
+		if _, seen := byKey[key]; !seen {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], r)
+	}
+	return byKey, order
+}
+
+// Agg computes the aggregations per group. The result has the key columns
+// (first-row representative values) followed by one column per aggregation,
+// with groups in first-appearance order.
+func (g *GroupBy) Agg(aggs ...Agg) *Frame {
+	byKey, order := g.groups()
+
+	keyOut := make([]*Series, len(g.keys))
+	for i, k := range g.keys {
+		keyOut[i] = &Series{name: k, dtype: g.f.Col(k).dtype}
+	}
+	aggOut := make([]*Series, len(aggs))
+	for i, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = a.Col + "_" + a.Fn.String()
+		}
+		dt := Float
+		if a.Fn == Count {
+			dt = Int
+		}
+		if a.Fn == First {
+			dt = g.f.Col(a.Col).dtype
+		}
+		aggOut[i] = &Series{name: name, dtype: dt}
+	}
+
+	for _, key := range order {
+		rows := byKey[key]
+		for i, k := range g.keys {
+			keyOut[i].appendValue(g.f.Col(k), rows[0])
+		}
+		for i, a := range aggs {
+			col := g.f.Col(a.Col)
+			switch a.Fn {
+			case Count:
+				aggOut[i].ints = append(aggOut[i].ints, int64(len(rows)))
+			case First:
+				aggOut[i].appendValue(col, rows[0])
+			default:
+				aggOut[i].flts = append(aggOut[i].flts, aggregate(col, rows, a.Fn))
+			}
+		}
+	}
+	return MustNew(append(keyOut, aggOut...)...)
+}
+
+func aggregate(col *Series, rows []int, fn AggFunc) float64 {
+	if len(rows) == 0 {
+		return math.NaN()
+	}
+	switch fn {
+	case Sum, Mean:
+		s := 0.0
+		for _, r := range rows {
+			s += col.Float(r)
+		}
+		if fn == Mean {
+			return s / float64(len(rows))
+		}
+		return s
+	case Min:
+		m := col.Float(rows[0])
+		for _, r := range rows[1:] {
+			if v := col.Float(r); v < m {
+				m = v
+			}
+		}
+		return m
+	case Max:
+		m := col.Float(rows[0])
+		for _, r := range rows[1:] {
+			if v := col.Float(r); v > m {
+				m = v
+			}
+		}
+		return m
+	case Std:
+		if len(rows) < 2 {
+			return 0
+		}
+		mean := aggregate(col, rows, Mean)
+		ss := 0.0
+		for _, r := range rows {
+			d := col.Float(r) - mean
+			ss += d * d
+		}
+		return math.Sqrt(ss / float64(len(rows)-1))
+	default:
+		panic(fmt.Sprintf("frame: unknown aggregation %v", fn))
+	}
+}
+
+// UniqueStrings returns the distinct values of a string column, sorted.
+func (f *Frame) UniqueStrings(col string) []string {
+	c := f.Col(col)
+	set := map[string]struct{}{}
+	for i := 0; i < c.Len(); i++ {
+		set[c.Str(i)] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ColumnStats summarizes one numeric column.
+type ColumnStats struct {
+	Name               string
+	Count              int
+	Mean, Std          float64
+	Min, P25, P50, P75 float64
+	Max                float64
+}
+
+// Describe computes pandas-style summary statistics for every numeric
+// column.
+func (f *Frame) Describe() []ColumnStats {
+	var out []ColumnStats
+	for _, c := range f.cols {
+		if !c.IsNumeric() {
+			continue
+		}
+		vals := c.Floats64()
+		st := ColumnStats{Name: c.Name(), Count: len(vals)}
+		if len(vals) > 0 {
+			sorted := append([]float64(nil), vals...)
+			sort.Float64s(sorted)
+			st.Min, st.Max = sorted[0], sorted[len(sorted)-1]
+			st.P25 = quantileSorted(sorted, 0.25)
+			st.P50 = quantileSorted(sorted, 0.50)
+			st.P75 = quantileSorted(sorted, 0.75)
+			sum := 0.0
+			for _, v := range vals {
+				sum += v
+			}
+			st.Mean = sum / float64(len(vals))
+			if len(vals) > 1 {
+				ss := 0.0
+				for _, v := range vals {
+					d := v - st.Mean
+					ss += d * d
+				}
+				st.Std = math.Sqrt(ss / float64(len(vals)-1))
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// quantileSorted interpolates the q-quantile of an ascending slice.
+func quantileSorted(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(len(s)-1)
+	lo := int(rank)
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[len(s)-1]
+	}
+	w := rank - float64(lo)
+	return s[lo]*(1-w) + s[hi]*w
+}

@@ -1,0 +1,107 @@
+package frame
+
+import "fmt"
+
+// JoinKind selects the join semantics.
+type JoinKind int
+
+// Join kinds.
+const (
+	Inner JoinKind = iota
+	Left
+)
+
+// Join hash-joins f (left) with other (right) on equal values of the named
+// key columns (which must exist on both sides with matching dtypes). Right
+// columns that clash with a left column name get a "_r" suffix. Left joins
+// fill right columns of unmatched rows with zero values (NaN for floats).
+//
+// This is the fusion primitive PERFRECUP uses to align records from
+// different tools: e.g. joining Dask task executions with Darshan DXT
+// segments on (hostname, thread ID).
+func (f *Frame) Join(other *Frame, kind JoinKind, on ...string) (*Frame, error) {
+	if len(on) == 0 {
+		return nil, fmt.Errorf("frame: join needs at least one key column")
+	}
+	leftKeys := make([]*Series, len(on))
+	rightKeys := make([]*Series, len(on))
+	for i, k := range on {
+		if !f.HasCol(k) || !other.HasCol(k) {
+			return nil, fmt.Errorf("frame: join key %q missing on one side", k)
+		}
+		leftKeys[i] = f.Col(k)
+		rightKeys[i] = other.Col(k)
+		if leftKeys[i].dtype != rightKeys[i].dtype {
+			return nil, fmt.Errorf("frame: join key %q dtype mismatch: %v vs %v",
+				k, leftKeys[i].dtype, rightKeys[i].dtype)
+		}
+	}
+	keyOf := func(cols []*Series, r int) string {
+		key := ""
+		for _, c := range cols {
+			key += c.keyString(r) + "\x00"
+		}
+		return key
+	}
+	// Build hash table on the right side.
+	table := make(map[string][]int, other.NRows())
+	for r := 0; r < other.NRows(); r++ {
+		k := keyOf(rightKeys, r)
+		table[k] = append(table[k], r)
+	}
+
+	onSet := map[string]bool{}
+	for _, k := range on {
+		onSet[k] = true
+	}
+	// Output schema: all left columns, then right columns minus keys.
+	var outCols []*Series
+	for _, c := range f.cols {
+		outCols = append(outCols, &Series{name: c.name, dtype: c.dtype})
+	}
+	var rightCols []*Series
+	for _, c := range other.cols {
+		if onSet[c.name] {
+			continue
+		}
+		name := c.name
+		if f.HasCol(name) {
+			name += "_r"
+		}
+		rc := &Series{name: name, dtype: c.dtype}
+		rightCols = append(rightCols, rc)
+		outCols = append(outCols, rc)
+	}
+	rightSrc := make([]*Series, 0, len(rightCols))
+	for _, c := range other.cols {
+		if !onSet[c.name] {
+			rightSrc = append(rightSrc, c)
+		}
+	}
+
+	emit := func(l int, r int) {
+		for i, c := range f.cols {
+			outCols[i].appendValue(c, l)
+		}
+		for i, rc := range rightCols {
+			if r < 0 {
+				rc.appendZero()
+			} else {
+				rc.appendValue(rightSrc[i], r)
+			}
+		}
+	}
+	for l := 0; l < f.NRows(); l++ {
+		matches := table[keyOf(leftKeys, l)]
+		if len(matches) == 0 {
+			if kind == Left {
+				emit(l, -1)
+			}
+			continue
+		}
+		for _, r := range matches {
+			emit(l, r)
+		}
+	}
+	return New(outCols...)
+}

@@ -1,0 +1,141 @@
+package perfrecup
+
+import (
+	"taskprov/internal/core"
+)
+
+// PhaseBreakdown is the per-run decomposition behind Fig. 3: cumulative
+// time spent in I/O, communication, and computation, plus the total wall
+// time. As in the paper, the three phases are non-exclusive (they may
+// overlap in time across threads) and the total additionally includes
+// workflow coordination (connecting to the scheduler, waiting for workers,
+// creating task graphs).
+type PhaseBreakdown struct {
+	Workflow string
+	Seed     uint64
+
+	// The three phase figures are per-thread-slot averages (cumulative
+	// seconds divided by the job's worker-thread count), so they are
+	// directly comparable to the wall time: a fully utilized job has
+	// ComputeSeconds approaching TotalSeconds, and short workflows show
+	// the paper's "disproportionately long total" from coordination.
+	IOSeconds      float64
+	CommSeconds    float64
+	ComputeSeconds float64
+	TotalSeconds   float64 // workflow wall time
+
+	ThreadSlots int
+
+	IOOps     int64
+	Transfers int64
+	Tasks     int64
+}
+
+// Phases computes the breakdown from one run's artifacts.
+func Phases(art *core.RunArtifacts) (PhaseBreakdown, error) {
+	b := PhaseBreakdown{
+		Workflow:     art.Meta.Workflow,
+		Seed:         art.Meta.Seed,
+		TotalSeconds: art.Meta.WallSeconds,
+	}
+	for _, l := range art.DarshanLogs {
+		for _, rec := range l.Records {
+			b.IOSeconds += rec.Counters.ReadTime + rec.Counters.WriteTime
+			b.IOOps += rec.Counters.Reads + rec.Counters.Writes
+		}
+	}
+	transfers, err := core.DrainTopic(art.Broker, core.TopicTransfers)
+	if err != nil {
+		return b, err
+	}
+	for _, m := range transfers {
+		t := core.ParseTransfer(m)
+		b.CommSeconds += (t.Stop - t.Start).Seconds()
+		b.Transfers++
+	}
+	execs, err := core.DrainTopic(art.Broker, core.TopicExecutions)
+	if err != nil {
+		return b, err
+	}
+	for _, m := range execs {
+		e := core.ParseExecution(m)
+		b.ComputeSeconds += (e.Stop - e.Start).Seconds()
+		b.Tasks++
+	}
+	// Execution time includes I/O performed inside tasks; subtracting the
+	// I/O share gives "computation" in the paper's sense.
+	b.ComputeSeconds -= b.IOSeconds
+	if b.ComputeSeconds < 0 {
+		b.ComputeSeconds = 0
+	}
+	// Convert the cumulative sums to per-thread-slot averages.
+	b.ThreadSlots = art.Meta.Job.Nodes * art.Meta.Job.WorkersPerNode * art.Meta.Job.ThreadsPerWorker
+	if b.ThreadSlots > 0 {
+		n := float64(b.ThreadSlots)
+		b.IOSeconds /= n
+		b.CommSeconds /= n
+		b.ComputeSeconds /= n
+	}
+	return b, nil
+}
+
+// PhaseStats aggregates breakdowns across runs of one workflow: mean and
+// standard deviation per phase, both raw and normalized by the per-run
+// total (the paper normalizes "for readability as workflows vary in total
+// duration").
+type PhaseStats struct {
+	Workflow string
+	Runs     int
+
+	MeanIO, StdIO           float64
+	MeanComm, StdComm       float64
+	MeanCompute, StdCompute float64
+	MeanTotal, StdTotal     float64
+
+	// Normalized: each run's phases divided by that run's largest phase
+	// value, then averaged.
+	NormIO, NormIOStd           float64
+	NormComm, NormCommStd       float64
+	NormCompute, NormComputeStd float64
+	NormTotal, NormTotalStd     float64
+}
+
+// AggregatePhases summarizes a set of per-run breakdowns (all from the same
+// workflow).
+func AggregatePhases(runs []PhaseBreakdown) PhaseStats {
+	s := PhaseStats{Runs: len(runs)}
+	if len(runs) == 0 {
+		return s
+	}
+	s.Workflow = runs[0].Workflow
+	var io, comm, comp, tot []float64
+	var nio, ncomm, ncomp, ntot []float64
+	for _, r := range runs {
+		io = append(io, r.IOSeconds)
+		comm = append(comm, r.CommSeconds)
+		comp = append(comp, r.ComputeSeconds)
+		tot = append(tot, r.TotalSeconds)
+		max := r.IOSeconds
+		for _, v := range []float64{r.CommSeconds, r.ComputeSeconds, r.TotalSeconds} {
+			if v > max {
+				max = v
+			}
+		}
+		if max <= 0 {
+			max = 1
+		}
+		nio = append(nio, r.IOSeconds/max)
+		ncomm = append(ncomm, r.CommSeconds/max)
+		ncomp = append(ncomp, r.ComputeSeconds/max)
+		ntot = append(ntot, r.TotalSeconds/max)
+	}
+	s.MeanIO, s.StdIO = Mean(io), Std(io)
+	s.MeanComm, s.StdComm = Mean(comm), Std(comm)
+	s.MeanCompute, s.StdCompute = Mean(comp), Std(comp)
+	s.MeanTotal, s.StdTotal = Mean(tot), Std(tot)
+	s.NormIO, s.NormIOStd = Mean(nio), Std(nio)
+	s.NormComm, s.NormCommStd = Mean(ncomm), Std(ncomm)
+	s.NormCompute, s.NormComputeStd = Mean(ncomp), Std(ncomp)
+	s.NormTotal, s.NormTotalStd = Mean(ntot), Std(ntot)
+	return s
+}

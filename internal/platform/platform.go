@@ -1,0 +1,243 @@
+// Package platform models the hardware layer of an HPC system for the
+// characterization framework: compute nodes with per-node performance
+// factors, a two-level switch fabric with distance-dependent latency, and
+// NIC bandwidth sharing. It is calibrated loosely on ALCF Polaris (one
+// 32-core AMD EPYC 7543P per node, Slingshot 11 NICs), the platform used in
+// the paper's evaluation.
+//
+// The model's purpose is not cycle accuracy but exposing the paper's
+// variability sources: which switch each allocated node landed on, node-to-
+// node performance spread, and contention on shared links.
+package platform
+
+import (
+	"fmt"
+
+	"taskprov/internal/sim"
+)
+
+// Config describes a cluster model. The zero value is not useful; start from
+// Polaris() or Small() and override fields.
+type Config struct {
+	Name         string // platform name recorded in provenance metadata
+	Nodes        int    // number of allocated compute nodes
+	CoresPerNode int
+	MemPerNode   int64 // bytes
+	GPUsPerNode  int
+	Switches     int // leaf switches nodes are randomly attached to
+
+	// Network timing. Latency is sampled per message with lognormal jitter
+	// (LatencyCV); bandwidth is shared on the receiver NIC.
+	IntraNodeLatency   sim.Time
+	SameSwitchLatency  sim.Time
+	CrossSwitchLatency sim.Time
+	LatencyCV          float64
+
+	NICBandwidth       float64 // bytes/s per node NIC (inter-node transfers)
+	IntraNodeBandwidth float64 // bytes/s for on-node transfers (memory copy)
+	BandwidthCV        float64 // per-transfer multiplicative jitter
+
+	// NodeSpeedCV spreads a per-node compute speed factor around 1.0,
+	// modeling the paper's observation that "allocated nodes may vary in
+	// performance".
+	NodeSpeedCV float64
+
+	// MessageOverhead is the fixed software cost added to every transfer
+	// (serialization, event-loop dispatch).
+	MessageOverhead sim.Time
+}
+
+// Polaris returns a configuration modeled on the ALCF Polaris system used in
+// the paper: Slingshot 11 network, 32-core EPYC Milan nodes, 512 GB RAM.
+func Polaris() Config {
+	return Config{
+		Name:               "polaris-sim",
+		Nodes:              2,
+		CoresPerNode:       32,
+		MemPerNode:         512 << 30,
+		GPUsPerNode:        4,
+		Switches:           4,
+		IntraNodeLatency:   sim.Microseconds(3),
+		SameSwitchLatency:  sim.Microseconds(12),
+		CrossSwitchLatency: sim.Microseconds(30),
+		LatencyCV:          0.25,
+		NICBandwidth:       20e9, // ~ a pair of Slingshot 11 adapters, derated
+		IntraNodeBandwidth: 80e9,
+		BandwidthCV:        0.15,
+		NodeSpeedCV:        0.02,
+		MessageOverhead:    sim.Microseconds(150),
+	}
+}
+
+// Small returns a tiny configuration convenient for unit tests.
+func Small() Config {
+	c := Polaris()
+	c.Name = "test-sim"
+	c.Nodes = 2
+	c.CoresPerNode = 8
+	c.Switches = 2
+	return c
+}
+
+// Node is one allocated compute node.
+type Node struct {
+	ID       int
+	Hostname string
+	Switch   int     // leaf switch this node's NIC is attached to
+	Speed    float64 // compute speed factor, ~1.0
+	cluster  *Cluster
+	nic      *sim.SharedServer // inbound NIC bandwidth
+	mem      *sim.SharedServer // on-node copy bandwidth
+}
+
+// Cluster is an instantiated platform model bound to a simulation kernel.
+type Cluster struct {
+	cfg    Config
+	kernel *sim.Kernel
+	nodes  []*Node
+	lat    *sim.RNG
+	bw     *sim.RNG
+}
+
+// New builds a cluster on kernel k. Node-to-switch placement and per-node
+// speed factors are drawn from the kernel's seeded RNG: two runs with
+// different seeds get different placements, which is one of the paper's
+// principal sources of run-to-run variability.
+func New(k *sim.Kernel, cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("platform: config needs at least one node")
+	}
+	if cfg.Switches <= 0 {
+		cfg.Switches = 1
+	}
+	c := &Cluster{
+		cfg:    cfg,
+		kernel: k,
+		lat:    k.RNG("platform/latency"),
+		bw:     k.RNG("platform/bandwidth"),
+	}
+	place := k.RNG("platform/placement")
+	speed := k.RNG("platform/nodespeed")
+	for i := 0; i < cfg.Nodes; i++ {
+		sf := 1.0
+		if cfg.NodeSpeedCV > 0 {
+			sf = speed.Normal(1.0, cfg.NodeSpeedCV)
+			if sf < 0.5 {
+				sf = 0.5
+			}
+		}
+		n := &Node{
+			ID:       i,
+			Hostname: fmt.Sprintf("nid%05d", 1000+place.Intn(4000)*10+i),
+			Switch:   place.Intn(cfg.Switches),
+			Speed:    sf,
+			cluster:  c,
+		}
+		n.nic = sim.NewSharedServer(k, fmt.Sprintf("nic/%s", n.Hostname), cfg.NICBandwidth, 0)
+		n.mem = sim.NewSharedServer(k, fmt.Sprintf("mem/%s", n.Hostname), cfg.IntraNodeBandwidth, 0)
+		c.nodes = append(c.nodes, n)
+	}
+	return c
+}
+
+// Config returns the configuration the cluster was built from.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Kernel returns the simulation kernel the cluster is bound to.
+func (c *Cluster) Kernel() *sim.Kernel { return c.kernel }
+
+// Nodes returns the allocated nodes in ID order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// SameNode reports whether two nodes are the same physical node.
+func SameNode(a, b *Node) bool { return a == b }
+
+// latency samples the one-way message latency between two nodes.
+func (c *Cluster) latency(from, to *Node) sim.Time {
+	var base sim.Time
+	switch {
+	case from == to:
+		base = c.cfg.IntraNodeLatency
+	case from.Switch == to.Switch:
+		base = c.cfg.SameSwitchLatency
+	default:
+		base = c.cfg.CrossSwitchLatency
+	}
+	return c.lat.JitterTime(base, c.cfg.LatencyCV)
+}
+
+// Transfer models moving size bytes from node `from` to node `to`. The done
+// callback receives the total elapsed virtual time once the last byte lands.
+// Inter-node transfers share the receiver's NIC; intra-node transfers share
+// the node's memory bandwidth. A zero-size transfer still pays latency and
+// software overhead (matching small control messages).
+func (c *Cluster) Transfer(from, to *Node, size int64, done func(elapsed sim.Time)) {
+	start := c.kernel.Now()
+	lat := c.latency(from, to) + c.cfg.MessageOverhead
+	server := to.nic
+	if from == to {
+		server = to.mem
+	}
+	bytes := float64(size)
+	if c.cfg.BandwidthCV > 0 && bytes > 0 {
+		// Jitter the effective transfer by inflating the work.
+		bytes = c.bw.LogNormalMean(bytes, c.cfg.BandwidthCV)
+	}
+	c.kernel.After(lat, func() {
+		server.Submit(bytes, func() {
+			if done != nil {
+				done(c.kernel.Now() - start)
+			}
+		})
+	})
+}
+
+// ComputeDuration scales a nominal task duration by the executing node's
+// speed factor. Callers layer their own per-task noise on top.
+func (n *Node) ComputeDuration(nominal sim.Time) sim.Time {
+	return sim.Time(float64(nominal) / n.Speed)
+}
+
+// NICServer exposes the node's inbound NIC resource (used by tests and by
+// the PFS model to co-locate I/O traffic with communication traffic).
+func (n *Node) NICServer() *sim.SharedServer { return n.nic }
+
+// Describe returns the hardware metadata captured in the provenance chart's
+// hardware-infrastructure layer (Fig. 1 of the paper).
+func (c *Cluster) Describe() Description {
+	d := Description{
+		Platform:     c.cfg.Name,
+		Nodes:        len(c.nodes),
+		CoresPerNode: c.cfg.CoresPerNode,
+		MemPerNode:   c.cfg.MemPerNode,
+		GPUsPerNode:  c.cfg.GPUsPerNode,
+		Switches:     c.cfg.Switches,
+	}
+	for _, n := range c.nodes {
+		d.NodeList = append(d.NodeList, NodeDescription{
+			Hostname: n.Hostname, Switch: n.Switch, Speed: n.Speed,
+		})
+	}
+	return d
+}
+
+// Description is the serializable hardware-layer metadata.
+type Description struct {
+	Platform     string            `json:"platform"`
+	Nodes        int               `json:"nodes"`
+	CoresPerNode int               `json:"cores_per_node"`
+	MemPerNode   int64             `json:"mem_per_node"`
+	GPUsPerNode  int               `json:"gpus_per_node"`
+	Switches     int               `json:"switches"`
+	NodeList     []NodeDescription `json:"node_list"`
+}
+
+// NodeDescription records one node's placement and measured speed factor.
+type NodeDescription struct {
+	Hostname string  `json:"hostname"`
+	Switch   int     `json:"switch"`
+	Speed    float64 `json:"speed"`
+}

@@ -1,0 +1,50 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelEventThroughput measures raw event dispatch rate: the
+// budget every simulated run spends most of its time in.
+func BenchmarkKernelEventThroughput(b *testing.B) {
+	k := NewKernel(1)
+	var fn func()
+	n := 0
+	fn = func() {
+		n++
+		if n < b.N {
+			k.After(Microsecond, fn)
+		}
+	}
+	k.After(Microsecond, fn)
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkProcSwitch measures the coroutine park/resume handoff cost.
+func BenchmarkProcSwitch(b *testing.B) {
+	k := NewKernel(1)
+	k.Go(func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(Microsecond)
+		}
+	})
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkSharedServer measures processor-sharing bookkeeping with steady
+// concurrent churn.
+func BenchmarkSharedServer(b *testing.B) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "dev", 1e9, 0)
+	n := 0
+	var submit func()
+	submit = func() {
+		n++
+		if n < b.N {
+			s.Submit(1000, submit)
+		}
+	}
+	s.Submit(1000, submit)
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // position in the heap, -1 once removed
+	cancel bool
+}
+
+// At reports the virtual time the event is scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// eventHeap orders events by (time, sequence). The sequence number makes the
+// ordering of simultaneous events deterministic: they fire in scheduling
+// order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a single-threaded discrete-event simulator. All methods must be
+// called from the goroutine running the simulation (typically from inside
+// event callbacks, or before Run).
+type Kernel struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+	steps   uint64
+	rng     *RNG
+}
+
+// NewKernel returns a kernel at virtual time zero whose root RNG is seeded
+// with seed. Two kernels with the same seed and the same event program evolve
+// identically.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Steps reports how many events have fired so far.
+func (k *Kernel) Steps() uint64 { return k.steps }
+
+// RNG returns a deterministic random stream derived from the kernel seed and
+// the given name. Calling RNG twice with the same name returns streams with
+// identical state, so each component should derive its stream once.
+func (k *Kernel) RNG(name string) *RNG { return k.rng.Split(name) }
+
+// At schedules fn to run at the absolute virtual time t. Scheduling in the
+// past panics: it indicates a causality bug in the caller.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.heap, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time. Negative delays
+// are clamped to zero.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run fires events in timestamp order until no events remain or Stop is
+// called. It returns the final virtual time.
+func (k *Kernel) Run() Time {
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		e := heap.Pop(&k.heap).(*Event)
+		if e.cancel {
+			continue
+		}
+		k.now = e.at
+		k.steps++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil fires events until the next event would be after deadline, no
+// events remain, or Stop is called. The clock is advanced to deadline if the
+// simulation ran out of events earlier. It returns the final virtual time.
+func (k *Kernel) RunUntil(deadline Time) Time {
+	k.stopped = false
+	for len(k.heap) > 0 && !k.stopped {
+		if k.heap[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&k.heap).(*Event)
+		if e.cancel {
+			continue
+		}
+		k.now = e.at
+		k.steps++
+		e.fn()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.now
+}
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (k *Kernel) Pending() int { return len(k.heap) }

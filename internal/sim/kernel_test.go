@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(Seconds(2), func() { order = append(order, 2) })
+	k.At(Seconds(1), func() { order = append(order, 1) })
+	k.At(Seconds(3), func() { order = append(order, 3) })
+	end := k.Run()
+	if end != Seconds(3) {
+		t.Fatalf("end time = %v, want 3s", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+}
+
+func TestKernelSimultaneousEventsFireInScheduleOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Seconds(1), func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestKernelAfterAndNow(t *testing.T) {
+	k := NewKernel(1)
+	var at2, at5 Time
+	k.After(Seconds(2), func() {
+		at2 = k.Now()
+		k.After(Seconds(3), func() { at5 = k.Now() })
+	})
+	k.Run()
+	if at2 != Seconds(2) || at5 != Seconds(5) {
+		t.Fatalf("Now() inside events = %v, %v; want 2s, 5s", at2, at5)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	e := k.After(Second, func() { fired = true })
+	e.Cancel()
+	k.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestKernelSchedulingInPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.After(Seconds(5), func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(Seconds(1), func() {})
+	})
+	k.Run()
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Seconds(float64(i)), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events after Stop at 3", count)
+	}
+	if k.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", k.Pending())
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	for i := 1; i <= 5; i++ {
+		d := Seconds(float64(i))
+		k.At(d, func() { fired = append(fired, d) })
+	}
+	end := k.RunUntil(Seconds(3.5))
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil fired %d events, want 3", len(fired))
+	}
+	if end != Seconds(3.5) {
+		t.Fatalf("RunUntil end = %v, want 3.5s", end)
+	}
+	// Remaining events still fire on Run.
+	k.Run()
+	if len(fired) != 5 {
+		t.Fatalf("Run after RunUntil fired %d total, want 5", len(fired))
+	}
+}
+
+func TestKernelRunUntilAdvancesIdleClock(t *testing.T) {
+	k := NewKernel(1)
+	end := k.RunUntil(Seconds(10))
+	if end != Seconds(10) {
+		t.Fatalf("idle RunUntil end = %v, want 10s", end)
+	}
+}
+
+func TestKernelNegativeDelayClamped(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	k.After(-Second, func() { fired = true })
+	k.Run()
+	if !fired || k.Now() != 0 {
+		t.Fatalf("negative delay: fired=%v now=%v", fired, k.Now())
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Seconds(1.5).Seconds() != 1.5 {
+		t.Errorf("Seconds round-trip failed")
+	}
+	if Milliseconds(250) != Seconds(0.25) {
+		t.Errorf("Milliseconds(250) != Seconds(0.25)")
+	}
+	if Microseconds(1000) != Milliseconds(1) {
+		t.Errorf("Microseconds(1000) != Milliseconds(1)")
+	}
+	if s := Seconds(1.25).String(); s != "1.250000s" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// Property: with any batch of non-negative delays, events fire in
+// non-decreasing time order and the final clock equals the max delay.
+func TestKernelTimeMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint32) bool {
+		k := NewKernel(7)
+		var max Time
+		var times []Time
+		for _, d := range delays {
+			d := Time(d) * Microsecond
+			if d > max {
+				max = d
+			}
+			k.At(d, func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || k.Now() == max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+// Proc is a coroutine-style simulation process: a goroutine that runs in
+// strict alternation with the kernel, so sequential code (sleep, do an async
+// operation, sleep again) can be written in straight-line style while the
+// kernel stays deterministic.
+//
+// Exactly one goroutine — either the kernel or one process — runs at any
+// moment. The kernel resumes a process from an event callback and blocks
+// until the process parks (in Sleep or Await) or returns. All cross-goroutine
+// state is therefore synchronized through the park/resume channel handoffs.
+type Proc struct {
+	k        *Kernel
+	toProc   chan struct{} // kernel -> process: run
+	toKernel chan struct{} // process -> kernel: parked or finished
+	finished bool
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Go starts fn as a new simulation process at the current virtual time (it
+// begins executing in a zero-delay event). When fn returns the process ends.
+func (k *Kernel) Go(fn func(p *Proc)) {
+	p := &Proc{k: k, toProc: make(chan struct{}), toKernel: make(chan struct{})}
+	k.After(0, func() {
+		go func() {
+			fn(p)
+			p.finished = true
+			p.toKernel <- struct{}{}
+		}()
+		<-p.toKernel
+	})
+}
+
+// park transfers control back to the kernel and blocks until resumed.
+func (p *Proc) park() {
+	p.toKernel <- struct{}{}
+	<-p.toProc
+}
+
+// resume is called from kernel event context; it hands control to the
+// process and blocks the kernel until the process parks again or finishes.
+func (p *Proc) resumeFromEvent() {
+	p.toProc <- struct{}{}
+	<-p.toKernel
+}
+
+// Sleep suspends the process for d of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.After(d, p.resumeFromEvent)
+	p.park()
+}
+
+// Await runs an asynchronous operation and blocks the process until the
+// operation's completion callback fires. start is invoked immediately (in
+// process context) with a done function; the operation MUST arrange for done
+// to be called from a kernel event callback, never synchronously from within
+// start itself, or the simulation deadlocks. All asynchronous primitives in
+// this repository (SharedServer.Submit, platform transfers, PFS operations)
+// satisfy that contract.
+func (p *Proc) Await(start func(done func())) {
+	start(func() { p.resumeFromEvent() })
+	p.park()
+}
+
+// Yield suspends the process until the next zero-delay event slot, letting
+// other already-scheduled events at the current timestamp run first.
+func (p *Proc) Yield() { p.Sleep(0) }

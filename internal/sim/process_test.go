@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcSleepAdvancesVirtualTime(t *testing.T) {
+	k := NewKernel(1)
+	var marks []Time
+	k.Go(func(p *Proc) {
+		marks = append(marks, p.Now())
+		p.Sleep(Seconds(1))
+		marks = append(marks, p.Now())
+		p.Sleep(Seconds(2))
+		marks = append(marks, p.Now())
+	})
+	k.Run()
+	want := []Time{0, Seconds(1), Seconds(3)}
+	if len(marks) != len(want) {
+		t.Fatalf("marks = %v", marks)
+	}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		k := NewKernel(1)
+		var log []string
+		k.Go(func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				log = append(log, "a")
+				p.Sleep(Seconds(2))
+			}
+		})
+		k.Go(func(p *Proc) {
+			p.Sleep(Seconds(1))
+			for i := 0; i < 3; i++ {
+				log = append(log, "b")
+				p.Sleep(Seconds(2))
+			}
+		})
+		k.Run()
+		return log
+	}
+	first := run()
+	want := "ababab"
+	got := ""
+	for _, s := range first {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("interleaving = %q, want %q", got, want)
+	}
+	for i := 0; i < 5; i++ {
+		again := run()
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatal("process interleaving nondeterministic across identical runs")
+			}
+		}
+	}
+}
+
+func TestProcAwaitSharedServer(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "dev", 100, 0)
+	var elapsed Time
+	k.Go(func(p *Proc) {
+		start := p.Now()
+		p.Await(func(done func()) { s.Submit(200, done) })
+		elapsed = p.Now() - start
+	})
+	k.Run()
+	if !almostEqual(elapsed, Seconds(2), Microsecond) {
+		t.Fatalf("Await elapsed %v, want 2s", elapsed)
+	}
+}
+
+func TestProcAwaitZeroWork(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "dev", 100, 0)
+	finished := false
+	k.Go(func(p *Proc) {
+		p.Await(func(done func()) { s.Submit(0, done) })
+		finished = true
+	})
+	k.Run()
+	if !finished {
+		t.Fatal("process never resumed from zero-work Await")
+	}
+}
+
+func TestManyProcsComplete(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "dev", 1000, 0)
+	done := 0
+	for i := 0; i < 100; i++ {
+		i := i
+		k.Go(func(p *Proc) {
+			p.Sleep(Time(i) * Millisecond)
+			p.Await(func(d func()) { s.Submit(float64(10+i), d) })
+			done++
+		})
+	}
+	k.Run()
+	if done != 100 {
+		t.Fatalf("only %d/100 processes completed", done)
+	}
+}
+
+func TestProcYield(t *testing.T) {
+	k := NewKernel(1)
+	var log []string
+	k.Go(func(p *Proc) {
+		log = append(log, "p1-start")
+		p.Yield()
+		log = append(log, "p1-after-yield")
+	})
+	k.Go(func(p *Proc) {
+		log = append(log, "p2")
+	})
+	k.Run()
+	// p1 starts first, yields; p2 (scheduled at same timestamp) then runs
+	// before p1 resumes.
+	want := []string{"p1-start", "p2", "p1-after-yield"}
+	for i := range want {
+		if i >= len(log) || log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestProcNegativeSleepClamped(t *testing.T) {
+	k := NewKernel(1)
+	ok := false
+	k.Go(func(p *Proc) {
+		p.Sleep(-Second)
+		ok = p.Now() == 0
+	})
+	k.Run()
+	if !ok {
+		t.Fatal("negative sleep moved the clock")
+	}
+}

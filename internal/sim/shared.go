@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SharedServer is a processor-sharing resource: all active jobs progress
+// simultaneously, each receiving an equal share of the server's capacity
+// (optionally capped per job). It models bandwidth-shared devices such as
+// NICs and parallel-file-system object storage targets, where N concurrent
+// transfers each see roughly 1/N of the device throughput.
+type SharedServer struct {
+	k          *Kernel
+	name       string
+	capacity   float64 // units per second (e.g. bytes/s)
+	perJobCap  float64 // max units per second a single job may receive; 0 = no cap
+	jobs       map[*SharedJob]struct{}
+	lastUpdate Time
+	completion *Event
+	busyUnits  float64 // total units served, for utilization accounting
+}
+
+// SharedJob is one unit of work in flight on a SharedServer.
+type SharedJob struct {
+	srv       *SharedServer
+	remaining float64
+	done      func()
+	started   Time
+}
+
+// NewSharedServer creates a processor-sharing server with the given total
+// capacity in units/second. perJobCap limits the rate a single job can
+// receive (0 means unlimited, i.e. a lone job gets the full capacity).
+func NewSharedServer(k *Kernel, name string, capacity, perJobCap float64) *SharedServer {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: SharedServer %q capacity must be positive", name))
+	}
+	return &SharedServer{
+		k: k, name: name, capacity: capacity, perJobCap: perJobCap,
+		jobs: make(map[*SharedJob]struct{}),
+	}
+}
+
+// Name returns the server's diagnostic name.
+func (s *SharedServer) Name() string { return s.name }
+
+// Active reports the number of in-flight jobs.
+func (s *SharedServer) Active() int { return len(s.jobs) }
+
+// UnitsServed reports the cumulative units delivered to completed-or-running
+// jobs so far (advanced lazily; call after Submit/completion events for an
+// up-to-date figure).
+func (s *SharedServer) UnitsServed() float64 { return s.busyUnits }
+
+// rate returns the per-job service rate given the current job count.
+func (s *SharedServer) rate() float64 {
+	n := len(s.jobs)
+	if n == 0 {
+		return 0
+	}
+	r := s.capacity / float64(n)
+	if s.perJobCap > 0 && r > s.perJobCap {
+		r = s.perJobCap
+	}
+	return r
+}
+
+// advance progresses every in-flight job to the current virtual time.
+func (s *SharedServer) advance() {
+	now := s.k.Now()
+	dt := (now - s.lastUpdate).Seconds()
+	if dt > 0 {
+		r := s.rate()
+		for j := range s.jobs {
+			served := r * dt
+			if served > j.remaining {
+				served = j.remaining
+			}
+			j.remaining -= served
+			s.busyUnits += served
+		}
+	}
+	s.lastUpdate = now
+}
+
+// reschedule cancels any pending completion event and schedules one for the
+// job that will finish soonest under the current sharing rate. The ETA is
+// rounded UP to whole nanoseconds (and at least 1ns): rounding down could
+// leave a sub-nanosecond residue of work that can never be served, spinning
+// the kernel on zero-delay events forever.
+func (s *SharedServer) reschedule() {
+	if s.completion != nil {
+		s.completion.Cancel()
+		s.completion = nil
+	}
+	if len(s.jobs) == 0 {
+		return
+	}
+	r := s.rate()
+	minRemaining := -1.0
+	for j := range s.jobs {
+		if minRemaining < 0 || j.remaining < minRemaining {
+			minRemaining = j.remaining
+		}
+	}
+	eta := Time(math.Ceil(minRemaining / r * 1e9))
+	if eta < 1 {
+		eta = 1
+	}
+	s.completion = s.k.After(eta, s.complete)
+}
+
+// complete fires when the earliest job(s) finish; it retires every job whose
+// remaining work has reached (numerically near) zero. The epsilon scales
+// with the service rate: any residue smaller than one nanosecond's worth of
+// service is unobservable at the kernel's resolution and counts as done.
+func (s *SharedServer) complete() {
+	s.advance()
+	eps := s.rate()*2e-9 + 1e-9
+	var finished []*SharedJob
+	for j := range s.jobs {
+		if j.remaining <= eps {
+			finished = append(finished, j)
+		}
+	}
+	for _, j := range finished {
+		delete(s.jobs, j)
+	}
+	s.reschedule()
+	// Callbacks run after internal state is consistent so they may submit
+	// new jobs to this same server.
+	for _, j := range finished {
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// Submit enqueues work units on the server; done is called (in a later event)
+// when the job's work has been fully served. Zero or negative work completes
+// after a zero-delay event, preserving the "callbacks never run inline"
+// property.
+func (s *SharedServer) Submit(units float64, done func()) *SharedJob {
+	j := &SharedJob{srv: s, remaining: units, done: done, started: s.k.Now()}
+	if units <= 0 {
+		s.k.After(0, func() {
+			if j.done != nil {
+				j.done()
+			}
+		})
+		return j
+	}
+	s.advance()
+	s.jobs[j] = struct{}{}
+	s.reschedule()
+	return j
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEqual(a, b Time, tol Time) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestSharedServerSingleJobFullRate(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "ost0", 100, 0) // 100 units/s
+	var doneAt Time
+	s.Submit(50, func() { doneAt = k.Now() })
+	k.Run()
+	if !almostEqual(doneAt, Milliseconds(500), Microsecond) {
+		t.Fatalf("single job finished at %v, want 0.5s", doneAt)
+	}
+}
+
+func TestSharedServerEqualSharing(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "nic", 100, 0)
+	var d1, d2 Time
+	s.Submit(50, func() { d1 = k.Now() })
+	s.Submit(50, func() { d2 = k.Now() })
+	k.Run()
+	// Two equal jobs sharing 100 units/s each see 50 units/s: both take 1s.
+	if !almostEqual(d1, Second, Microsecond) || !almostEqual(d2, Second, Microsecond) {
+		t.Fatalf("equal jobs finished at %v, %v; want 1s each", d1, d2)
+	}
+}
+
+func TestSharedServerLateArrivalSlowsDown(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "nic", 100, 0)
+	var d1, d2 Time
+	s.Submit(100, func() { d1 = k.Now() }) // alone: would finish at 1s
+	k.After(Milliseconds(500), func() {
+		s.Submit(100, func() { d2 = k.Now() })
+	})
+	k.Run()
+	// Job 1: 0.5s at 100/s (50 served) then shares at 50/s (1s more) = 1.5s.
+	if !almostEqual(d1, Milliseconds(1500), Microsecond) {
+		t.Fatalf("job1 finished at %v, want 1.5s", d1)
+	}
+	// Job 2: 50/s until job1 exits at 1.5s (50 served), then 100/s for the
+	// remaining 50 => finishes at 2.0s.
+	if !almostEqual(d2, Seconds(2), Microsecond) {
+		t.Fatalf("job2 finished at %v, want 2.0s", d2)
+	}
+}
+
+func TestSharedServerPerJobCap(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "nic", 100, 25) // lone job capped to 25/s
+	var doneAt Time
+	s.Submit(50, func() { doneAt = k.Now() })
+	k.Run()
+	if !almostEqual(doneAt, Seconds(2), Microsecond) {
+		t.Fatalf("capped job finished at %v, want 2s", doneAt)
+	}
+}
+
+func TestSharedServerZeroWorkCompletesImmediately(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "nic", 100, 0)
+	done := false
+	s.Submit(0, func() { done = true })
+	if done {
+		t.Fatal("zero-work callback ran inline")
+	}
+	k.Run()
+	if !done || k.Now() != 0 {
+		t.Fatalf("zero-work job: done=%v now=%v", done, k.Now())
+	}
+}
+
+func TestSharedServerCallbackMaySubmit(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "nic", 100, 0)
+	var second Time
+	s.Submit(100, func() {
+		s.Submit(100, func() { second = k.Now() })
+	})
+	k.Run()
+	if !almostEqual(second, Seconds(2), Microsecond) {
+		t.Fatalf("chained job finished at %v, want 2s", second)
+	}
+}
+
+func TestSharedServerUtilizationAccounting(t *testing.T) {
+	k := NewKernel(1)
+	s := NewSharedServer(k, "ost", 100, 0)
+	s.Submit(30, nil)
+	s.Submit(70, nil)
+	k.Run()
+	if math.Abs(s.UnitsServed()-100) > 1e-6 {
+		t.Fatalf("UnitsServed = %v, want 100", s.UnitsServed())
+	}
+	if s.Active() != 0 {
+		t.Fatalf("Active = %d after drain", s.Active())
+	}
+}
+
+func TestSharedServerManyJobsConservation(t *testing.T) {
+	// Property-style: any mix of job sizes and arrival times must conserve
+	// total work and never finish a job faster than capacity allows.
+	k := NewKernel(99)
+	g := NewRNG(5)
+	s := NewSharedServer(k, "ost", 1000, 0)
+	type rec struct {
+		size     float64
+		arrive   Time
+		finished Time
+	}
+	var recs []*rec
+	var total float64
+	for i := 0; i < 50; i++ {
+		r := &rec{size: g.Uniform(1, 500), arrive: Time(g.Intn(1000)) * Millisecond}
+		total += r.size
+		recs = append(recs, r)
+		k.At(r.arrive, func() {
+			s.Submit(r.size, func() { r.finished = k.Now() })
+		})
+	}
+	k.Run()
+	for _, r := range recs {
+		if r.finished == 0 && r.arrive != 0 {
+			t.Fatalf("job never finished: %+v", r)
+		}
+		minDur := Seconds(r.size / 1000)
+		if r.finished-r.arrive < minDur-Microsecond {
+			t.Fatalf("job finished faster than capacity: %+v (min %v)", r, minDur)
+		}
+	}
+	if math.Abs(s.UnitsServed()-total) > 1e-3 {
+		t.Fatalf("UnitsServed = %v, want %v", s.UnitsServed(), total)
+	}
+}
+
+func TestSharedServerInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity did not panic")
+		}
+	}()
+	NewSharedServer(NewKernel(1), "bad", 0, 0)
+}
+
+func TestSharedServerNoZeroDelaySpinOnResidue(t *testing.T) {
+	// Regression: jittered byte counts leave sub-nanosecond residues of
+	// work; the server must not spin on zero-delay completion events.
+	k := NewKernel(3)
+	g := NewRNG(17)
+	s := NewSharedServer(k, "nic", 8e10, 0) // high rate: large per-ns quanta
+	done := 0
+	const jobs = 2000
+	for i := 0; i < jobs; i++ {
+		arrive := Time(g.Intn(1_000_000)) * Microsecond
+		size := g.LogNormalMean(1024, 0.15) // adversarial fractional sizes
+		k.At(arrive, func() {
+			s.Submit(size, func() { done++ })
+		})
+	}
+	end := k.Run()
+	if done != jobs {
+		t.Fatalf("completed %d/%d jobs", done, jobs)
+	}
+	// The kernel must terminate in bounded steps (not millions of spins).
+	if k.Steps() > uint64(jobs*20) {
+		t.Fatalf("kernel took %d steps for %d jobs: zero-delay spin", k.Steps(), jobs)
+	}
+	if end <= 0 {
+		t.Fatal("no time passed")
+	}
+}
