@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The durable event log and broker are the concurrency-heavy paths; run them
+# under the race detector.
+race:
+	$(GO) test -race ./internal/mofka/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Everything CI runs.
+verify: build vet test race

@@ -3,9 +3,16 @@
 // Mercury wire protocol. It is the deployment mode for consumers that run
 // on different nodes than the instrumented workflow.
 //
+// With -data-dir the broker is backed by the durable segmented event log:
+// every topic, event, and committed cursor persists under the directory,
+// survives restarts (including crashes — torn segment tails are truncated
+// on reopen), and can later be analyzed post-mortem with
+// `perfrecup <cmd> <data-dir>`.
+//
 // Usage:
 //
 //	mofkad -listen 127.0.0.1:7777 [-config bedrock.json]
+//	       [-data-dir /path/to/log] [-fsync batch|interval|never]
 package main
 
 import (
@@ -18,11 +25,14 @@ import (
 	"taskprov/internal/mochi/bedrock"
 	"taskprov/internal/mochi/mercury"
 	"taskprov/internal/mofka"
+	"taskprov/internal/mofka/wal"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7777", "TCP listen address")
 	configPath := flag.String("config", "", "optional bedrock JSON config (its address overrides -listen)")
+	dataDir := flag.String("data-dir", "", "directory for the durable event log (empty = in-memory only)")
+	fsync := flag.String("fsync", "batch", "durable log fsync policy: batch|interval|never")
 	flag.Parse()
 
 	cfg := bedrock.DefaultConfig(*listen)
@@ -39,21 +49,41 @@ func main() {
 	if mercury.IsLocal(cfg.Address) {
 		fatal(fmt.Errorf("mofkad needs a TCP address, got %q", cfg.Address))
 	}
+	pol, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fatal(err)
+	}
 	dep, err := bedrock.Deploy(cfg, nil)
 	if err != nil {
 		fatal(err)
 	}
 	defer dep.Shutdown()
 
-	broker := mofka.NewBroker(dep)
+	broker, err := mofka.NewBrokerOptions(dep, mofka.Options{
+		DataDir: *dataDir,
+		WAL:     wal.Options{Sync: pol},
+	})
+	if err != nil {
+		fatal(err)
+	}
 	broker.RegisterRPCs(dep.Endpoint())
-	fmt.Printf("mofkad: serving on %s (yokan dbs: %v, warabi targets: %v)\n",
-		dep.Addr(), cfg.Yokan.Databases, cfg.Warabi.Targets)
+	durability := "in-memory"
+	if *dataDir != "" {
+		durability = fmt.Sprintf("durable log %s (fsync=%s, %d topics recovered)",
+			*dataDir, *fsync, len(broker.Topics()))
+	}
+	fmt.Printf("mofkad: serving on %s (yokan dbs: %v, warabi targets: %v, %s)\n",
+		dep.Addr(), cfg.Yokan.Databases, cfg.Warabi.Targets, durability)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("mofkad: shutting down")
+	// Flush and fsync every partition log before the process exits, so a
+	// clean shutdown loses nothing regardless of the fsync policy.
+	if err := broker.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -23,6 +23,7 @@ import (
 
 	"taskprov/internal/core"
 	"taskprov/internal/darshan"
+	"taskprov/internal/mofka"
 	"taskprov/internal/perfrecup"
 	"taskprov/internal/perfrecup/frame"
 )
@@ -80,7 +81,16 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: perfrecup <table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|metadata> <run dir...> [flags]`)
 }
 
-func load(dir string) (*core.RunArtifacts, error) { return core.LoadDir(dir) }
+// load accepts both artifact layouts: a run directory written by
+// cmd/taskprov (metadata.json + mofka/*.jsonl) or a durable broker data
+// directory (topics/ + segment files), which is loaded post-mortem straight
+// from the on-disk event log.
+func load(dir string) (*core.RunArtifacts, error) {
+	if mofka.IsDataDir(dir) {
+		return perfrecup.LoadEventLog(dir)
+	}
+	return core.LoadDir(dir)
+}
 
 func cmdTable1(dirs []string) error {
 	type agg struct {

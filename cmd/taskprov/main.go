@@ -45,7 +45,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-no-dxt] [-no-collect] [-no-steal]
   taskprov list`)
 }
 
@@ -65,6 +65,8 @@ func cmdRun(args []string) error {
 	seed := fs.Uint64("seed", 1, "base run seed")
 	runs := fs.Int("runs", 1, "number of runs (seeds seed..seed+runs-1)")
 	out := fs.String("out", "runs", "output directory (one subdirectory per run)")
+	dataDir := fs.String("data-dir", "", "root for durable Mofka event logs (one subdirectory per run; empty = in-memory)")
+	fsync := fs.String("fsync", "batch", "durable log fsync policy: batch|interval|never")
 	noDXT := fs.Bool("no-dxt", false, "disable Darshan DXT tracing")
 	noCollect := fs.Bool("no-collect", false, "disable all instrumentation (overhead ablation)")
 	noSteal := fs.Bool("no-steal", false, "disable work stealing (scheduling ablation)")
@@ -84,6 +86,10 @@ func cmdRun(args []string) error {
 		cfg := workloads.DefaultSession(*workflow, jobID, s)
 		cfg.DarshanDXT = !*noDXT
 		cfg.DisableCollection = *noCollect
+		if *dataDir != "" {
+			cfg.MofkaDataDir = filepath.Join(*dataDir, jobID)
+			cfg.MofkaSyncPolicy = *fsync
+		}
 		if *noSteal {
 			cfg.Dask.WorkStealing = false
 		}

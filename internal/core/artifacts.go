@@ -32,6 +32,28 @@ func (a *RunArtifacts) WriteDir(dir string) error {
 	if err := os.WriteFile(filepath.Join(dir, "metadata.json"), EncodeMetadata(a.Meta), 0o644); err != nil {
 		return err
 	}
+	if err := a.WriteDarshanLogs(dir); err != nil {
+		return err
+	}
+	for _, topic := range a.Broker.Topics() {
+		if err := a.writeTopic(dir, topic); err != nil {
+			return err
+		}
+	}
+	if err := a.writeLogs(dir); err != nil {
+		return err
+	}
+	return nil
+}
+
+// WriteDarshanLogs writes the per-worker binary Darshan logs under
+// dir/darshan (created if needed). WriteDir calls it for run directories;
+// durable runs also call it on the Mofka data directory so post-mortem
+// analysis sees the I/O layer too.
+func (a *RunArtifacts) WriteDarshanLogs(dir string) error {
+	if err := os.MkdirAll(filepath.Join(dir, "darshan"), 0o755); err != nil {
+		return err
+	}
 	for _, l := range a.DarshanLogs {
 		p := filepath.Join(dir, "darshan", fmt.Sprintf("rank%04d.darshan", l.Job.Rank))
 		f, err := os.Create(p)
@@ -45,14 +67,6 @@ func (a *RunArtifacts) WriteDir(dir string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-	}
-	for _, topic := range a.Broker.Topics() {
-		if err := a.writeTopic(dir, topic); err != nil {
-			return err
-		}
-	}
-	if err := a.writeLogs(dir); err != nil {
-		return err
 	}
 	return nil
 }

@@ -102,6 +102,9 @@ type InstrumentationConfig struct {
 	DXTEnabled        bool `json:"dxt_enabled"`
 	DXTBufferSegments int  `json:"dxt_buffer_segments"`
 	MofkaBatchSize    int  `json:"mofka_batch_size"`
+	// MofkaDataDir is the durable event-log directory, empty when the run's
+	// provenance stream was in-memory only.
+	MofkaDataDir string `json:"mofka_data_dir,omitempty"`
 }
 
 // EncodeMetadata serializes run metadata as pretty JSON.
@@ -159,9 +162,13 @@ func (m RunMetadata) RenderChart() string {
 	fmt.Fprintf(&b, "    ├─ distributed.yaml: heartbeat %.3fs, stealing %v (%.3fs), loop-monitor %.1fs\n",
 		m.DaskConfig.HeartbeatIntervalSec, m.DaskConfig.WorkStealing,
 		m.DaskConfig.StealIntervalSec, m.DaskConfig.EventLoopThresholdSec)
-	fmt.Fprintf(&b, "    ├─ instrumentation: DXT=%v (buffer %d segments), mofka batch %d\n",
+	durable := ""
+	if m.Instrumentation.MofkaDataDir != "" {
+		durable = fmt.Sprintf(", durable log %s", m.Instrumentation.MofkaDataDir)
+	}
+	fmt.Fprintf(&b, "    ├─ instrumentation: DXT=%v (buffer %d segments), mofka batch %d%s\n",
 		m.Instrumentation.DXTEnabled, m.Instrumentation.DXTBufferSegments,
-		m.Instrumentation.MofkaBatchSize)
+		m.Instrumentation.MofkaBatchSize, durable)
 	fmt.Fprintf(&b, "    └─ outcome: [%.3fs, %.3fs], wall %.3fs\n",
 		m.StartSeconds, m.EndSeconds, m.WallSeconds)
 	return b.String()

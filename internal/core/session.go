@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"taskprov/internal/darshan"
 	"taskprov/internal/dask"
 	"taskprov/internal/mofka"
+	"taskprov/internal/mofka/wal"
 	"taskprov/internal/pfs"
 	"taskprov/internal/platform"
 	"taskprov/internal/posixio"
@@ -50,6 +53,16 @@ type SessionConfig struct {
 
 	// Mofka producer batching for the provenance stream.
 	MofkaBatchSize int
+
+	// MofkaDataDir, when set, backs the run's broker with the durable
+	// segmented event log rooted there (internal/mofka/wal): every
+	// provenance event is crash-safe on disk and the directory can be
+	// analyzed post-mortem with perfrecup, without JSONL export. Ignored
+	// when an external broker is passed to RunOnBroker.
+	MofkaDataDir string
+	// MofkaSyncPolicy selects the event log's fsync policy: "batch"
+	// (default), "interval", or "never". See wal.ParseSyncPolicy.
+	MofkaSyncPolicy string
 
 	// DisableCollection turns off all instrumentation (for overhead
 	// ablations): no plugins, no Darshan tracers.
@@ -116,7 +129,26 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 	cluster := dask.NewCluster(k, plat, px, cfg.Dask, tracers)
 
 	if broker == nil {
-		broker = mofka.NewStandaloneBroker()
+		if cfg.MofkaDataDir != "" {
+			// Each run gets a fresh event log: appending a second run to an
+			// existing log would silently merge both runs' provenance.
+			if mofka.IsDataDir(cfg.MofkaDataDir) {
+				return nil, fmt.Errorf("core: data dir %s already holds an event log (one directory per run)", cfg.MofkaDataDir)
+			}
+			pol, err := wal.ParseSyncPolicy(cfg.MofkaSyncPolicy)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			broker, err = mofka.NewDurableBroker(mofka.Options{
+				DataDir: cfg.MofkaDataDir,
+				WAL:     wal.Options{Sync: pol},
+			})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			broker = mofka.NewStandaloneBroker()
+		}
 	}
 	var collector *Collector
 	if !cfg.DisableCollection {
@@ -181,10 +213,26 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 			DXTEnabled:        cfg.DarshanDXT,
 			DXTBufferSegments: dxtBuf,
 			MofkaBatchSize:    cfg.MofkaBatchSize,
+			MofkaDataDir:      cfg.MofkaDataDir,
 		},
 		StartSeconds: start.Seconds(),
 		EndSeconds:   end.Seconds(),
 		WallSeconds:  (end - start).Seconds(),
+	}
+	if cfg.MofkaDataDir != "" {
+		// Make the data directory self-describing: with metadata.json next
+		// to topics/, perfrecup can analyze the event log post-mortem
+		// without the JSONL run directory.
+		if err := broker.Sync(); err != nil {
+			return nil, err
+		}
+		p := filepath.Join(cfg.MofkaDataDir, "metadata.json")
+		if err := os.WriteFile(p, EncodeMetadata(art.Meta), 0o644); err != nil {
+			return nil, fmt.Errorf("core: persist metadata: %w", err)
+		}
+		if err := art.WriteDarshanLogs(cfg.MofkaDataDir); err != nil {
+			return nil, fmt.Errorf("core: persist darshan logs: %w", err)
+		}
 	}
 	return art, nil
 }

@@ -11,6 +11,7 @@ import (
 	"taskprov/internal/mochi/bedrock"
 	"taskprov/internal/mochi/warabi"
 	"taskprov/internal/mochi/yokan"
+	"taskprov/internal/mofka/wal"
 )
 
 // Errors reported by the broker API.
@@ -23,13 +24,22 @@ var (
 )
 
 // Broker hosts topics on top of a bedrock deployment's Yokan and Warabi
-// services. All methods are safe for concurrent use.
+// services, optionally backed by a durable segmented event log (see
+// Options.DataDir and the wal package). All methods are safe for concurrent
+// use.
 type Broker struct {
 	meta *yokan.Database
 	data *warabi.Target
 
+	// Durable backend, nil/zero for a purely in-memory broker.
+	dataDir  string
+	readOnly bool
+	walOpts  wal.Options
+	cursors  *wal.CursorStore
+
 	mu     sync.RWMutex
 	topics map[string]*Topic
+	closed bool
 }
 
 // NewBroker builds a broker on the deployment's "metadata" Yokan database
@@ -62,6 +72,9 @@ func (b *Broker) CreateTopic(cfg TopicConfig) (*Topic, error) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
 	if _, ok := b.topics[cfg.Name]; ok {
 		return nil, fmt.Errorf("%w: %s", ErrTopicExists, cfg.Name)
 	}
@@ -76,7 +89,15 @@ func (b *Broker) CreateTopic(cfg TopicConfig) (*Topic, error) {
 		t.partitions = append(t.partitions, p)
 	}
 	// Record the topic in the KV space so it is discoverable post-mortem.
-	cfgJSON, _ := json.Marshal(cfg)
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("mofka: encode config for topic %s: %w", cfg.Name, err)
+	}
+	if b.dataDir != "" && !b.readOnly {
+		if err := b.persistTopic(t, cfgJSON); err != nil {
+			return nil, err
+		}
+	}
 	b.meta.Put("topics/"+cfg.Name, cfgJSON)
 	b.topics[cfg.Name] = t
 	return t, nil
@@ -117,17 +138,85 @@ func (b *Broker) Topics() []string {
 	return out
 }
 
-// CommitCursor durably records a consumer's next-unread offset.
-func (b *Broker) CommitCursor(consumer, topic string, partition int, next uint64) {
-	key := fmt.Sprintf("cursor/%s/%s/p%04d", consumer, topic, partition)
-	val, _ := json.Marshal(next)
-	b.meta.Put(key, val)
+// cursorKey is the per-(consumer, topic, partition) identifier shared by the
+// in-memory KV space and the on-disk cursor sidecar.
+func cursorKey(consumer, topic string, partition int) string {
+	return fmt.Sprintf("%s/%s/p%04d", consumer, topic, partition)
+}
+
+// Close shuts the broker down: every partition is marked closed (waking any
+// consumer blocked in PullBlocking, which then returns ErrClosed), and
+// durable logs are flushed, fsynced, and closed. Reads of already-published
+// events keep working after Close — post-mortem draining of an in-memory
+// broker is still valid — but appends and topic creation fail with
+// ErrClosed. Close is idempotent.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	topics := make([]*Topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.Unlock()
+	var firstErr error
+	for _, t := range topics {
+		for _, p := range t.partitions {
+			if err := p.close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Sync forces every durable partition log to stable storage (a no-op for
+// in-memory brokers) without closing anything.
+func (b *Broker) Sync() error {
+	b.mu.RLock()
+	topics := make([]*Topic, 0, len(b.topics))
+	for _, t := range b.topics {
+		topics = append(topics, t)
+	}
+	b.mu.RUnlock()
+	var firstErr error
+	for _, t := range topics {
+		for _, p := range t.partitions {
+			if p.log != nil {
+				if err := p.log.Sync(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+	}
+	return firstErr
+}
+
+// CommitCursor durably records a consumer's next-unread offset. On a durable
+// broker the cursor is also persisted to the sidecar store, so it survives a
+// restart.
+func (b *Broker) CommitCursor(consumer, topic string, partition int, next uint64) error {
+	key := cursorKey(consumer, topic, partition)
+	val, err := json.Marshal(next)
+	if err != nil {
+		return fmt.Errorf("mofka: encode cursor %s: %w", key, err)
+	}
+	b.meta.Put("cursor/"+key, val)
+	if b.cursors != nil {
+		if err := b.cursors.Set(key, next); err != nil {
+			return fmt.Errorf("mofka: persist cursor %s: %w", key, err)
+		}
+	}
+	return nil
 }
 
 // LoadCursor returns a consumer's committed next-unread offset (0 if never
 // committed).
 func (b *Broker) LoadCursor(consumer, topic string, partition int) uint64 {
-	key := fmt.Sprintf("cursor/%s/%s/p%04d", consumer, topic, partition)
+	key := "cursor/" + cursorKey(consumer, topic, partition)
 	v, ok := b.meta.Get(key)
 	if !ok {
 		return 0
@@ -174,10 +263,12 @@ type Partition struct {
 	topic *Topic
 	index int
 	docs  *yokan.Collection
+	log   *wal.Log // durable backend; nil for in-memory partitions
 
 	mu     sync.Mutex
 	cond   *sync.Cond
 	length uint64
+	closed bool
 }
 
 // Index returns the partition's index within its topic.
@@ -191,7 +282,10 @@ func (p *Partition) Length() uint64 {
 }
 
 // appendBatch persists a batch: payloads are concatenated into one Warabi
-// region; each event's envelope goes into the Yokan collection.
+// region; each event's envelope goes into the Yokan collection. On a durable
+// partition the batch is appended (and synced, per policy) to the on-disk
+// log before it becomes visible, so every event a consumer can observe is
+// also recoverable.
 func (p *Partition) appendBatch(metas [][]byte, datas [][]byte) error {
 	if len(metas) != len(datas) {
 		return fmt.Errorf("%w: %d metadata for %d data payloads", ErrInvalidEvent, len(metas), len(datas))
@@ -209,10 +303,28 @@ func (p *Partition) appendBatch(metas [][]byte, datas [][]byte) error {
 		offsets[i] = int64(len(blob))
 		blob = append(blob, d...)
 	}
-	region := p.topic.broker.data.CreateWrite(blob)
 
+	// The whole publish happens under the partition lock so WAL offsets and
+	// in-memory event IDs assign in the same order across concurrent
+	// producers — replaying the log reproduces the exact live stream.
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if p.topic.broker.readOnly {
+		return fmt.Errorf("%w: broker is read-only (post-mortem)", ErrClosed)
+	}
+	if p.log != nil {
+		recs := make([]wal.Record, len(metas))
+		for i := range metas {
+			recs[i] = wal.Record{Meta: metas[i], Data: datas[i]}
+		}
+		if _, err := p.log.AppendBatch(recs); err != nil {
+			return fmt.Errorf("mofka: wal append %s[%d]: %w", p.topic.cfg.Name, p.index, err)
+		}
+	}
+	region := p.topic.broker.data.CreateWrite(blob)
 	for i := range metas {
 		env := envelope{Meta: metas[i], Region: uint64(region), Offset: offsets[i], Size: int64(len(datas[i]))}
 		doc, err := json.Marshal(&env)
@@ -267,13 +379,17 @@ func (p *Partition) readSelect(from uint64, max int, selector func([]byte) bool)
 	return out, firstErr
 }
 
-// waitForLength blocks until the partition holds more than n events or the
-// deadline passes, and reports whether new events are available.
+// waitForLength blocks until the partition holds more than n events, the
+// partition closes, or the deadline passes, and reports whether new events
+// are available. A Broker.Close broadcast wakes waiters immediately.
 func (p *Partition) waitForLength(n uint64, timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for p.length <= n {
+		if p.closed {
+			return false
+		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return false
@@ -288,4 +404,29 @@ func (p *Partition) waitForLength(n uint64, timeout time.Duration) bool {
 		waker.Stop()
 	}
 	return true
+}
+
+// isClosed reports whether the partition has been closed by Broker.Close.
+func (p *Partition) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// close marks the partition closed, wakes every blocked consumer, and syncs
+// and closes the durable log (if any).
+func (p *Partition) close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	log := p.log
+	p.mu.Unlock()
+	if log != nil {
+		return log.Close()
+	}
+	return nil
 }

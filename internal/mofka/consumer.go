@@ -101,7 +101,9 @@ func (c *Consumer) Pull() (Event, bool, error) {
 }
 
 // PullBlocking behaves like Pull but waits up to timeout for a new event,
-// supporting in-situ consumption while the producer is live.
+// supporting in-situ consumption while the producer is live. When the broker
+// closes, PullBlocking drains any events that already landed and then
+// returns ErrClosed promptly instead of waiting out the timeout.
 func (c *Consumer) PullBlocking(timeout time.Duration) (Event, bool, error) {
 	ev, ok, err := c.Pull()
 	if ok || err != nil {
@@ -109,6 +111,22 @@ func (c *Consumer) PullBlocking(timeout time.Duration) (Event, bool, error) {
 	}
 	deadline := time.Now().Add(timeout)
 	for {
+		// Closed broker: no new events can arrive. Serve whatever was
+		// published before the close, then report closure.
+		closed := true
+		for _, pi := range c.parts {
+			if !c.topic.partitions[pi].isClosed() {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			ev, ok, err := c.Pull()
+			if ok || err != nil {
+				return ev, ok, err
+			}
+			return Event{}, false, ErrClosed
+		}
 		// Wait on whichever subscribed partition might grow.
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
@@ -165,8 +183,7 @@ func (c *Consumer) Commit(ev Event) error {
 	if c.opts.Name == "" {
 		return fmt.Errorf("mofka: anonymous consumer cannot commit")
 	}
-	c.topic.broker.CommitCursor(c.opts.Name, c.topic.cfg.Name, ev.Partition, ev.ID+1)
-	return nil
+	return c.topic.broker.CommitCursor(c.opts.Name, c.topic.cfg.Name, ev.Partition, ev.ID+1)
 }
 
 // Progress returns the next unread offset for a partition.

@@ -123,7 +123,9 @@ func (b *Broker) RegisterRPCs(ep *mercury.Endpoint) {
 		if err := json.Unmarshal(req, &cr); err != nil {
 			return nil, err
 		}
-		b.CommitCursor(cr.Consumer, cr.Topic, cr.Partition, cr.Next)
+		if err := b.CommitCursor(cr.Consumer, cr.Topic, cr.Partition, cr.Next); err != nil {
+			return nil, err
+		}
 		return []byte(`{}`), nil
 	})
 	ep.Register(rpcCursor, func(req []byte) ([]byte, error) {

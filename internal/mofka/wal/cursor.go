@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CursorStore is the small sidecar that persists consumer cursors next to a
+// broker's event log, so Commit/LoadCursor survive restarts. The whole map
+// is rewritten atomically (temp file + fsync + rename) on every update —
+// cursors are tiny and commits are rare compared to appends, so simplicity
+// wins over an incremental format.
+type CursorStore struct {
+	path string
+
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+// OpenCursorStore loads the cursor file at path, starting empty when it does
+// not exist yet.
+func OpenCursorStore(path string) (*CursorStore, error) {
+	s := &CursorStore{path: path, m: make(map[string]uint64)}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: open cursor store: %w", err)
+	}
+	if err := json.Unmarshal(b, &s.m); err != nil {
+		return nil, fmt.Errorf("wal: corrupt cursor store %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Set records a cursor and persists the store durably.
+func (s *CursorStore) Set(key string, next uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = next
+	return s.flushLocked()
+}
+
+// Get returns a committed cursor.
+func (s *CursorStore) Get(key string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// All returns a copy of every committed cursor.
+func (s *CursorStore) All() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
+}
+
+// flushLocked writes the map to a temp file, fsyncs it, and renames it over
+// the store path, so a crash mid-write leaves the previous version intact.
+func (s *CursorStore) flushLocked() error {
+	b, err := json.Marshal(s.m)
+	if err != nil {
+		return fmt.Errorf("wal: encode cursors: %w", err)
+	}
+	dir := filepath.Dir(s.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("wal: cursor store dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".cursors-*")
+	if err != nil {
+		return fmt.Errorf("wal: cursor temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: write cursors: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: sync cursors: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: close cursor temp: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		return fmt.Errorf("wal: install cursors: %w", err)
+	}
+	return nil
+}

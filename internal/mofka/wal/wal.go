@@ -1,0 +1,497 @@
+// Package wal is a durable, segment-based, append-only event log: the
+// on-disk backend behind Mofka partitions. Records are length-prefixed and
+// CRC32-C-checked, appends are batched with a configurable fsync policy,
+// segments rotate at a size threshold with count/byte/age-based retention,
+// and opening a log recovers from crashes by truncating a torn tail and
+// rebuilding the next append offset from what survives on disk.
+//
+// One Log corresponds to one Mofka partition: offsets are dense from the
+// first retained record and equal the partition's event IDs, so a replayed
+// log reconstructs the exact event stream a live broker served.
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy controls when appended batches are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncBatch fsyncs after every appended batch: a flushed producer batch
+	// is crash-durable when AppendBatch returns. The default.
+	SyncBatch SyncPolicy = iota
+	// SyncInterval flushes every batch to the OS but fsyncs at most once per
+	// SyncEvery (amortized durability: a crash can lose the last interval).
+	SyncInterval
+	// SyncNever leaves syncing to the OS page cache (and Close/Sync calls).
+	// Fastest; a machine crash can lose recent batches, a process crash
+	// cannot (data is flushed to the kernel on every batch).
+	SyncNever
+)
+
+// ParseSyncPolicy maps the CLI spellings (batch|interval|never) to a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "batch", "":
+		return SyncBatch, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never", "none":
+		return SyncNever, nil
+	}
+	return SyncBatch, fmt.Errorf("wal: unknown sync policy %q (want batch|interval|never)", s)
+}
+
+// Retention bounds how many closed segments are kept. Zero values mean
+// unlimited; the active segment is never deleted.
+type Retention struct {
+	// MaxSegments caps the total number of segments (including active).
+	MaxSegments int
+	// MaxBytes caps the total on-disk size across segments.
+	MaxBytes int64
+	// MaxAge drops closed segments whose newest record is older than this.
+	MaxAge time.Duration
+}
+
+// Options tunes a log. The zero value is usable: 64 MiB segments, SyncBatch,
+// unlimited retention.
+type Options struct {
+	// SegmentBytes rotates the active segment once it reaches this size.
+	// Default 64 MiB.
+	SegmentBytes int64
+	// Sync selects the fsync policy (default SyncBatch).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// Retention bounds segment count/bytes/age (default: keep everything).
+	Retention Retention
+	// MaxRecordBytes is the framing sanity bound (default 64 MiB). Records
+	// larger than this are rejected on append and treated as corruption on
+	// read.
+	MaxRecordBytes int
+	// ReadOnly opens the log for replay only: a torn tail is skipped but NOT
+	// truncated on disk, and appends fail. Post-mortem analysis uses this so
+	// inspection never mutates the evidence.
+	ReadOnly bool
+}
+
+func (o *Options) setDefaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.MaxRecordBytes <= 0 {
+		o.MaxRecordBytes = 64 << 20
+	}
+}
+
+const segSuffix = ".seg"
+
+// segment is one closed or active log file. base is the offset of its first
+// record; records and size are exact (rebuilt by the open-time scan).
+type segment struct {
+	base    uint64
+	path    string
+	records uint64
+	size    int64
+	mtime   time.Time
+}
+
+// Log is a segmented append-only record log rooted at one directory. All
+// methods are safe for concurrent use; appends are serialized.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	segs     []segment // ordered by base; last is active (when writable)
+	active   *os.File
+	w        *bufio.Writer
+	next     uint64 // offset the next appended record receives
+	first    uint64 // offset of the oldest retained record
+	torn     int64  // bytes discarded (or skipped, read-only) at open
+	lastSync time.Time
+	closed   bool
+}
+
+// Open opens (creating if needed) the log in dir, recovering from any torn
+// tail left by a crash: the newest segment is scanned record-by-record and
+// truncated at the last valid frame, and the next append offset is rebuilt
+// from the surviving records.
+func Open(dir string, opts Options) (*Log, error) {
+	opts.setDefaults()
+	l := &Log{dir: dir, opts: opts}
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("wal: open %s: %w", dir, err)
+		}
+	}
+	if err := l.recover(); err != nil {
+		return nil, err
+	}
+	if !opts.ReadOnly {
+		if err := l.openActive(); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// recover enumerates segments, validates them, truncates a torn tail (unless
+// read-only), and computes first/next offsets.
+func (l *Log) recover() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		if os.IsNotExist(err) && l.opts.ReadOnly {
+			return nil // empty log
+		}
+		return fmt.Errorf("wal: scan %s: %w", l.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		base, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil {
+			continue // not a segment file
+		}
+		info, err := e.Info()
+		if err != nil {
+			return fmt.Errorf("wal: stat %s: %w", name, err)
+		}
+		l.segs = append(l.segs, segment{
+			base:  base,
+			path:  filepath.Join(l.dir, name),
+			size:  info.Size(),
+			mtime: info.ModTime(),
+		})
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i].base < l.segs[j].base })
+	for i := range l.segs {
+		s := &l.segs[i]
+		last := i == len(l.segs)-1
+		records, validSize, err := l.scanSegment(s.path, last)
+		if err != nil {
+			return err
+		}
+		if validSize < s.size {
+			// Torn tail of the newest segment: a crash interrupted the last
+			// append. Drop the partial frame so the log ends on a record
+			// boundary.
+			l.torn += s.size - validSize
+			if !l.opts.ReadOnly {
+				if err := os.Truncate(s.path, validSize); err != nil {
+					return fmt.Errorf("wal: truncate torn tail of %s: %w", s.path, err)
+				}
+			}
+			s.size = validSize
+		}
+		s.records = records
+		if i == 0 {
+			l.first = s.base
+		}
+		l.next = s.base + s.records
+	}
+	return nil
+}
+
+// scanSegment walks a segment's frames, returning the record count and the
+// byte length of the valid prefix. A torn frame is tolerated only in the
+// newest segment (tail=true); elsewhere it is interior corruption.
+func (l *Log) scanSegment(path string, tail bool) (records uint64, validSize int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	for {
+		_, n, err := readRecord(r, l.opts.MaxRecordBytes)
+		if err == io.EOF {
+			return records, validSize, nil
+		}
+		if err != nil {
+			if tail {
+				return records, validSize, nil // torn tail, caller truncates
+			}
+			return 0, 0, corruptAt(path, validSize, err)
+		}
+		records++
+		validSize += n
+	}
+}
+
+// openActive positions the writer at the newest segment, starting a fresh
+// one when the log is empty or the newest is already over the size limit.
+func (l *Log) openActive() error {
+	if len(l.segs) == 0 || l.segs[len(l.segs)-1].size >= l.opts.SegmentBytes {
+		return l.rotateLocked()
+	}
+	s := &l.segs[len(l.segs)-1]
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen active segment: %w", err)
+	}
+	l.active = f
+	l.w = bufio.NewWriterSize(f, 1<<20)
+	return nil
+}
+
+// rotateLocked closes the active segment and starts a new one based at the
+// next offset, then applies retention. Callers hold l.mu (or are inside
+// Open, before the log is shared).
+func (l *Log) rotateLocked() error {
+	if l.active != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: flush on rotate: %w", err)
+		}
+		if err := l.active.Sync(); err != nil {
+			return fmt.Errorf("wal: sync on rotate: %w", err)
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: close on rotate: %w", err)
+		}
+		l.segs[len(l.segs)-1].mtime = time.Now()
+	}
+	path := filepath.Join(l.dir, fmt.Sprintf("%020d%s", l.next, segSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.active = f
+	l.w = bufio.NewWriterSize(f, 1<<20)
+	l.segs = append(l.segs, segment{base: l.next, path: path, mtime: time.Now()})
+	l.applyRetentionLocked()
+	return nil
+}
+
+// applyRetentionLocked deletes the oldest closed segments that exceed the
+// retention bounds. The active segment is never deleted, so at least the
+// newest data always survives.
+func (l *Log) applyRetentionLocked() {
+	ret := l.opts.Retention
+	if ret.MaxSegments <= 0 && ret.MaxBytes <= 0 && ret.MaxAge <= 0 {
+		return
+	}
+	total := int64(0)
+	for _, s := range l.segs {
+		total += s.size
+	}
+	for len(l.segs) > 1 {
+		drop := false
+		oldest := l.segs[0]
+		if ret.MaxSegments > 0 && len(l.segs) > ret.MaxSegments {
+			drop = true
+		}
+		if ret.MaxBytes > 0 && total > ret.MaxBytes {
+			drop = true
+		}
+		if ret.MaxAge > 0 && time.Since(oldest.mtime) > ret.MaxAge {
+			drop = true
+		}
+		if !drop {
+			return
+		}
+		os.Remove(oldest.path) //nolint:errcheck // retention is best-effort
+		total -= oldest.size
+		l.segs = l.segs[1:]
+		l.first = l.segs[0].base
+	}
+}
+
+// AppendBatch appends records as one batch, returning the offset assigned to
+// the first record (subsequent records take consecutive offsets). Durability
+// follows the configured sync policy.
+func (l *Log) AppendBatch(recs []Record) (first uint64, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: %s: log closed", l.dir)
+	}
+	if l.opts.ReadOnly {
+		return 0, fmt.Errorf("wal: %s: log is read-only", l.dir)
+	}
+	if len(recs) == 0 {
+		return l.next, nil
+	}
+	first = l.next
+	var buf []byte
+	var bytes int64
+	for _, r := range recs {
+		if fs := frameSize(r); fs-recordHeaderSize > int64(l.opts.MaxRecordBytes) {
+			return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes %d", fs, l.opts.MaxRecordBytes)
+		}
+		buf = appendFrame(buf[:0], r)
+		if _, err := l.w.Write(buf); err != nil {
+			return 0, fmt.Errorf("wal: append: %w", err)
+		}
+		bytes += int64(len(buf))
+	}
+	l.next += uint64(len(recs))
+	s := &l.segs[len(l.segs)-1]
+	s.records += uint64(len(recs))
+	s.size += bytes
+	s.mtime = time.Now()
+
+	switch l.opts.Sync {
+	case SyncBatch:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case SyncInterval:
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("wal: flush: %w", err)
+		}
+		if time.Since(l.lastSync) >= l.opts.SyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	case SyncNever:
+		if err := l.w.Flush(); err != nil {
+			return 0, fmt.Errorf("wal: flush: %w", err)
+		}
+	}
+	if s.size >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return first, nil
+}
+
+// Append appends a single record (a one-record batch).
+func (l *Log) Append(rec Record) (uint64, error) {
+	return l.AppendBatch([]Record{rec})
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if err := l.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Sync forces all appended records to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || l.active == nil {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// Replay calls fn for every record with offset >= from, in offset order,
+// until fn returns false. Offsets below the retention horizon are skipped
+// (replay starts at FirstOffset). Replay sees every record appended before
+// the call, including unsynced ones.
+func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) bool) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.w != nil {
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: flush before replay: %w", err)
+		}
+	}
+	for _, s := range l.segs {
+		if s.base+s.records <= from {
+			continue
+		}
+		f, err := os.Open(s.path)
+		if err != nil {
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		r := bufio.NewReaderSize(f, 1<<20)
+		off := s.base
+		var read int64
+		// s.size is the validated prefix length from recovery, so a torn
+		// tail left on disk by a read-only open is never read here.
+		for read < s.size {
+			rec, n, err := readRecord(r, l.opts.MaxRecordBytes)
+			if err != nil {
+				f.Close()
+				return corruptAt(s.path, read, err)
+			}
+			read += n
+			if off >= from {
+				if !fn(off, rec) {
+					f.Close()
+					return nil
+				}
+			}
+			off++
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Close flushes and fsyncs outstanding appends and closes the active
+// segment. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.active == nil {
+		return nil
+	}
+	if err := l.syncLocked(); err != nil {
+		l.active.Close()
+		return err
+	}
+	return l.active.Close()
+}
+
+// Dir returns the log's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+// NextOffset returns the offset the next appended record would receive —
+// equivalently, the number of records ever appended (before retention).
+func (l *Log) NextOffset() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// FirstOffset returns the offset of the oldest retained record.
+func (l *Log) FirstOffset() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.first
+}
+
+// Segments returns the current number of on-disk segments.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// TornBytes reports how many bytes of torn tail the open-time recovery
+// discarded (or, read-only, skipped) — 0 after a clean shutdown.
+func (l *Log) TornBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.torn
+}

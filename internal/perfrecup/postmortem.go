@@ -1,0 +1,61 @@
+package perfrecup
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"taskprov/internal/core"
+	"taskprov/internal/darshan"
+	"taskprov/internal/mofka"
+	"taskprov/internal/sim"
+)
+
+// LoadEventLog builds run artifacts directly from a durable Mofka data
+// directory (a broker started with -data-dir, or a run with
+// SessionConfig.MofkaDataDir set) — no live broker and no JSONL export
+// needed. The on-disk segments replay into an in-memory broker opened
+// read-only, so every view (ExecutionsView, Phases, ...) works exactly as it
+// does against a live broker, and the directory on disk is never modified —
+// safe to point at the log of a crashed run.
+//
+// Alongside the topics/ tree the loader picks up what the directory offers:
+//
+//	metadata.json       the provenance chart (written by instrumented runs)
+//	darshan/*.darshan   per-worker I/O logs, if collected into the same dir
+//
+// Both are optional; views over missing sources simply come back empty.
+func LoadEventLog(dataDir string) (*core.RunArtifacts, error) {
+	broker, err := mofka.OpenPostMortem(dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("perfrecup: open event log %s: %w", dataDir, err)
+	}
+	art := &core.RunArtifacts{Broker: broker}
+
+	if metaBytes, err := os.ReadFile(filepath.Join(dataDir, "metadata.json")); err == nil {
+		meta, err := core.DecodeMetadata(metaBytes)
+		if err != nil {
+			return nil, fmt.Errorf("perfrecup: %s/metadata.json: %w", dataDir, err)
+		}
+		art.Meta = meta
+		art.WallTime = sim.Seconds(meta.WallSeconds)
+	}
+
+	dlogs, err := filepath.Glob(filepath.Join(dataDir, "darshan", "*.darshan"))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range dlogs {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		l, err := darshan.ReadLog(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("perfrecup: %s: %w", p, err)
+		}
+		art.DarshanLogs = append(art.DarshanLogs, l)
+	}
+	return art, nil
+}

@@ -1,0 +1,164 @@
+package perfrecup
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"taskprov/internal/core"
+	"taskprov/internal/perfrecup/frame"
+	"taskprov/internal/sim"
+)
+
+// durableRun executes the mini workflow with the broker backed by a durable
+// event log under dir.
+func durableRun(t *testing.T, dir string) *core.RunArtifacts {
+	t.Helper()
+	cfg := core.DefaultSessionConfig("job-mini-durable", 11)
+	cfg.Platform.NodeSpeedCV = 0
+	cfg.PFS.InterferenceLoad = 0
+	cfg.Dask.WorkersPerNode = 2
+	cfg.Dask.ThreadsPerWorker = 2
+	cfg.Dask.EventLoopMonitorThreshold = sim.Seconds(1)
+	cfg.MofkaDataDir = dir
+	art, err := core.Run(cfg, &miniWorkflow{files: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func viewCSV(t *testing.T, f *frame.Frame, err error) string {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := f.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestPostMortemViewsMatchLive is the acceptance check for the post-mortem
+// loading mode: every Mofka-backed view built from the on-disk event log
+// must be byte-identical to the same view built from the live broker that
+// wrote it.
+func TestPostMortemViewsMatchLive(t *testing.T) {
+	dir := t.TempDir()
+	live := durableRun(t, dir)
+
+	pm, err := LoadEventLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := []struct {
+		name string
+		fn   func(*core.RunArtifacts) (*frame.Frame, error)
+	}{
+		{"executions", ExecutionsView},
+		{"transitions", TransitionsView},
+		{"transfers", TransfersView},
+		{"warnings", WarningsView},
+		{"taskmeta", TaskMetaView},
+		{"heartbeats", HeartbeatsView},
+		{"dxt", DXTView},
+		{"posix", PosixView},
+	}
+	for _, v := range views {
+		lf, lerr := v.fn(live)
+		pf, perr := v.fn(pm)
+		lcsv, pcsv := viewCSV(t, lf, lerr), viewCSV(t, pf, perr)
+		if lcsv != pcsv {
+			t.Errorf("view %s differs between live broker and post-mortem log", v.name)
+		}
+		if lf.NRows() == 0 {
+			t.Errorf("view %s is empty; equivalence check is vacuous", v.name)
+		}
+	}
+
+	// The provenance chart rides along in the data directory.
+	if pm.Meta.Workflow != live.Meta.Workflow || pm.Meta.JobID != live.Meta.JobID {
+		t.Fatalf("post-mortem metadata = %q/%q, live %q/%q",
+			pm.Meta.Workflow, pm.Meta.JobID, live.Meta.Workflow, live.Meta.JobID)
+	}
+	if pm.Meta.Instrumentation.MofkaDataDir != dir {
+		t.Fatalf("metadata does not record the data dir: %q", pm.Meta.Instrumentation.MofkaDataDir)
+	}
+	if pm.WallTime != live.WallTime {
+		t.Fatalf("post-mortem wall time %v, live %v", pm.WallTime, live.WallTime)
+	}
+
+	// Loading is repeatable and read-only: a second load sees the same data.
+	pm2, err := LoadEventLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af, aerr := ExecutionsView(pm)
+	bf, berr := ExecutionsView(pm2)
+	if a, b := viewCSV(t, af, aerr), viewCSV(t, bf, berr); a != b {
+		t.Fatal("second post-mortem load differs from the first")
+	}
+}
+
+// TestPostMortemAnalysesRun: the higher-level analyses (phases, correlations)
+// work from the on-disk log alone.
+func TestPostMortemAnalysesRun(t *testing.T) {
+	dir := t.TempDir()
+	live := durableRun(t, dir)
+	pm, err := LoadEventLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := Phases(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := Phases(pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb != pb {
+		t.Fatalf("phase breakdown differs: live %+v vs post-mortem %+v", lb, pb)
+	}
+	if _, err := CommScatter(pm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParallelCoords(pm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadEventLogEmptyDir: a directory with no log yields an empty broker
+// (no topics), never a panic, and creates nothing on disk.
+func TestLoadEventLogEmptyDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nope")
+	art, err := LoadEventLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topics := art.Broker.Topics(); len(topics) != 0 {
+		t.Fatalf("empty dir produced topics %v", topics)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("read-only load created %s", dir)
+	}
+}
+
+// TestDurableRunWritesSelfDescribingDir: the data directory alone carries
+// everything the post-mortem loader needs.
+func TestDurableRunWritesSelfDescribingDir(t *testing.T) {
+	dir := t.TempDir()
+	durableRun(t, dir)
+	if _, err := os.Stat(filepath.Join(dir, "metadata.json")); err != nil {
+		t.Fatalf("no metadata.json in data dir: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "topics")); err != nil {
+		t.Fatalf("no topics/ in data dir: %v", err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "topics", "*", "*", "*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segment files written: %v %v", segs, err)
+	}
+}
