@@ -11,10 +11,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The durable event log and broker are the concurrency-heavy paths; run them
-# under the race detector.
+# The broker, durable log, and live monitor are all concurrency-heavy; run
+# the whole tree under the race detector.
 race:
-	$(GO) test -race ./internal/mofka/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

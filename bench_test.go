@@ -19,6 +19,7 @@ import (
 
 	"taskprov/internal/core"
 	"taskprov/internal/dask"
+	"taskprov/internal/live"
 	"taskprov/internal/mofka"
 	"taskprov/internal/mofka/wal"
 	"taskprov/internal/perfrecup"
@@ -532,4 +533,54 @@ func (w *inlineWorkflow) Name() string        { return w.name }
 func (w *inlineWorkflow) Stage(env *core.Env) {}
 func (w *inlineWorkflow) Run(p *sim.Proc, cl *dask.Client, env *core.Env) {
 	cl.SubmitAndWait(p, w.graph)
+}
+
+// BenchmarkLiveAggregation measures the live monitor's streaming-ingest
+// throughput: how many provenance events per second the aggregator (windowed
+// aggregates + online anomaly detectors) absorbs. This bounds the event rate
+// a single in-process monitor can follow without lagging the run.
+func BenchmarkLiveAggregation(b *testing.B) {
+	// A representative event mix: mostly executions, some transfers and
+	// transitions, occasional warnings — pre-encoded so the benchmark times
+	// aggregation, not metadata construction.
+	type in struct {
+		topic string
+		part  int
+		m     mofka.Metadata
+	}
+	var mix []in
+	for i := 0; i < 64; i++ {
+		key := dask.TaskKey(fmt.Sprintf("getitem-%04d", i))
+		worker := fmt.Sprintf("10.0.0.%d:9000", i%8)
+		at := float64(i) * 0.05
+		mix = append(mix, in{core.TopicExecutions, i % 2, core.ExecutionEvent(dask.TaskExecution{
+			Key: key, Worker: worker, Hostname: fmt.Sprintf("nid%05d", i%4),
+			Start: sim.Seconds(at), Stop: sim.Seconds(at + 0.8), OutputSize: 1 << 16, GraphID: 1,
+		})})
+		mix = append(mix, in{core.TopicTransitions, i % 2, core.TransitionEvent(dask.Transition{
+			Key: key, From: "processing", To: "memory", At: sim.Seconds(at + 0.8),
+		})})
+		if i%4 == 0 {
+			mix = append(mix, in{core.TopicTransfers, i % 2, core.TransferEvent(dask.Transfer{
+				Key: key, From: worker, To: "10.0.0.9:9000", Bytes: 1 << 20,
+				Start: sim.Seconds(at), Stop: sim.Seconds(at + 0.01),
+			})})
+		}
+		if i%16 == 0 {
+			mix = append(mix, in{core.TopicWarnings, i % 2, core.WarningEvent(dask.Warning{
+				Kind: dask.WarnEventLoop, Worker: worker, At: sim.Seconds(at), Duration: sim.Seconds(1.2),
+			})})
+		}
+	}
+	agg := live.NewAggregator(live.AggregatorOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := mix[i%len(mix)]
+		agg.IngestEvent(e.topic, e.part, e.m)
+	}
+	b.StopTimer()
+	if s := agg.Snapshot(); s.Events == 0 {
+		b.Fatal("aggregator ingested nothing")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }

@@ -9,10 +9,15 @@
 // on reopen), and can later be analyzed post-mortem with
 // `perfrecup <cmd> <data-dir>`.
 //
+// With -live the daemon additionally runs the live monitoring subsystem
+// (internal/live) against its own broker: streaming aggregates and online
+// anomaly detection over the provenance topics, served on -live-http.
+//
 // Usage:
 //
 //	mofkad -listen 127.0.0.1:7777 [-config bedrock.json]
 //	       [-data-dir /path/to/log] [-fsync batch|interval|never]
+//	       [-live] [-live-http 127.0.0.1:9090]
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"taskprov/internal/live"
 	"taskprov/internal/mochi/bedrock"
 	"taskprov/internal/mochi/mercury"
 	"taskprov/internal/mofka"
@@ -33,6 +39,8 @@ func main() {
 	configPath := flag.String("config", "", "optional bedrock JSON config (its address overrides -listen)")
 	dataDir := flag.String("data-dir", "", "directory for the durable event log (empty = in-memory only)")
 	fsync := flag.String("fsync", "batch", "durable log fsync policy: batch|interval|never")
+	liveMon := flag.Bool("live", false, "run the live monitor against this broker")
+	liveHTTP := flag.String("live-http", "", "with -live, serve /snapshot /metrics /events on this address")
 	flag.Parse()
 
 	cfg := bedrock.DefaultConfig(*listen)
@@ -75,6 +83,23 @@ func main() {
 	fmt.Printf("mofkad: serving on %s (yokan dbs: %v, warabi targets: %v, %s)\n",
 		dep.Addr(), cfg.Yokan.Databases, cfg.Warabi.Targets, durability)
 
+	var monitor *live.Monitor
+	if *liveMon {
+		monitor = live.NewMonitor(broker, live.MonitorOptions{
+			Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, "mofkad: "+format+"\n", a...) },
+		})
+		if *liveHTTP != "" {
+			srv, err := live.Serve(*liveHTTP, monitor)
+			if err != nil {
+				fatal(err)
+			}
+			defer srv.Close()
+			fmt.Printf("mofkad: live monitor on http://%s (/snapshot /metrics /events)\n", srv.Addr())
+		} else {
+			fmt.Println("mofkad: live monitor attached")
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -83,6 +108,10 @@ func main() {
 	// clean shutdown loses nothing regardless of the fsync policy.
 	if err := broker.Close(); err != nil {
 		fatal(err)
+	}
+	if monitor != nil {
+		// Broker is closed: the monitor drains what's left and exits.
+		monitor.Stop()
 	}
 }
 

@@ -8,16 +8,25 @@
 //
 //	taskprov run -workflow xgboost -seed 1 -out runs/xgb-0001
 //	taskprov run -workflow imageprocessing -runs 10 -out runs/ip
+//	taskprov watch -data-dir runs-wal/xgb-0001 -http 127.0.0.1:9090
+//	taskprov watch -broker 127.0.0.1:7777 -once
 //	taskprov list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"taskprov/internal/core"
+	"taskprov/internal/live"
+	"taskprov/internal/mochi/mercury"
+	"taskprov/internal/mofka"
 	"taskprov/internal/perfrecup"
 	"taskprov/internal/workloads"
 )
@@ -31,6 +40,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "watch":
+		err = cmdWatch(os.Args[2:], nil)
 	case "list":
 		err = cmdList()
 	default:
@@ -45,7 +56,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-live] [-live-http ADDR] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov watch (-data-dir DIR | -broker ADDR) [-http ADDR] [-interval DUR] [-once] [-json]
   taskprov list`)
 }
 
@@ -67,6 +79,9 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "runs", "output directory (one subdirectory per run)")
 	dataDir := fs.String("data-dir", "", "root for durable Mofka event logs (one subdirectory per run; empty = in-memory)")
 	fsync := fs.String("fsync", "batch", "durable log fsync policy: batch|interval|never")
+	force := fs.Bool("force", false, "move an existing event log for the run aside (<dir>.old-<n>) instead of refusing")
+	liveMon := fs.Bool("live", false, "attach the live monitor (streaming aggregates + online anomaly detection)")
+	liveHTTP := fs.String("live-http", "", "with -live, serve /snapshot /metrics /events on this address during the run")
 	noDXT := fs.Bool("no-dxt", false, "disable Darshan DXT tracing")
 	noCollect := fs.Bool("no-collect", false, "disable all instrumentation (overhead ablation)")
 	noSteal := fs.Bool("no-steal", false, "disable work stealing (scheduling ablation)")
@@ -89,10 +104,21 @@ func cmdRun(args []string) error {
 		if *dataDir != "" {
 			cfg.MofkaDataDir = filepath.Join(*dataDir, jobID)
 			cfg.MofkaSyncPolicy = *fsync
+			if *force {
+				moved, err := moveAsideDataDir(cfg.MofkaDataDir)
+				if err != nil {
+					return err
+				}
+				if moved != "" {
+					fmt.Printf("taskprov: moved stale event log %s -> %s\n", cfg.MofkaDataDir, moved)
+				}
+			}
 		}
 		if *noSteal {
 			cfg.Dask.WorkStealing = false
 		}
+		cfg.LiveMonitor = *liveMon
+		cfg.LiveHTTPAddr = *liveHTTP
 		art, err := core.Run(cfg, wf)
 		if err != nil {
 			return fmt.Errorf("run %s: %w", jobID, err)
@@ -110,6 +136,122 @@ func cmdRun(args []string) error {
 			}
 		}
 		fmt.Println(row)
+		if art.Live != nil {
+			fmt.Printf("  live: %d events, %d tasks, %d transfers, %d anomalies\n",
+				art.Live.Events, art.Live.Tasks, art.Live.Transfers, len(art.Live.Anomalies))
+		}
 	}
 	return nil
+}
+
+// moveAsideDataDir renames an existing event log out of the way
+// (<dir>.old-<n>, first free n) so the run can start fresh. Returns the new
+// name, or "" when dir held no event log.
+func moveAsideDataDir(dir string) (string, error) {
+	if !mofka.IsDataDir(dir) {
+		return "", nil
+	}
+	for n := 1; ; n++ {
+		dst := fmt.Sprintf("%s.old-%d", dir, n)
+		if _, err := os.Stat(dst); err == nil {
+			continue
+		} else if !os.IsNotExist(err) {
+			return "", err
+		}
+		if err := os.Rename(dir, dst); err != nil {
+			return "", fmt.Errorf("move stale event log aside: %w", err)
+		}
+		return dst, nil
+	}
+}
+
+// cmdWatch attaches live monitoring to an existing run: either tailing a
+// durable data dir as it grows (works on the log of a crashed run too) or
+// attaching to a running mofkad broker over Mercury RPC. started, when
+// non-nil, receives the bound HTTP address (used by tests).
+func cmdWatch(args []string, started chan<- string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "durable Mofka data dir to tail")
+	brokerAddr := fs.String("broker", "", "address of a running mofkad broker to attach to")
+	httpAddr := fs.String("http", "", "serve /snapshot /metrics /events /healthz on this address")
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	asJSON := fs.Bool("json", false, "print snapshots as JSON instead of one-line status")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*dataDir == "") == (*brokerAddr == "") {
+		return fmt.Errorf("watch: need exactly one of -data-dir or -broker")
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, "taskprov watch: "+format+"\n", a...) }
+
+	var src live.Source
+	var stop func()
+	if *dataDir != "" {
+		t, err := live.TailWAL(*dataDir, live.TailOptions{Interval: *interval, Logf: logf})
+		if err != nil {
+			return err
+		}
+		src, stop = t, t.Stop
+	} else {
+		cli, err := mercury.Dial(*brokerAddr)
+		if err != nil {
+			return err
+		}
+		t, err := live.TailRemote(mofka.NewRemote(cli), live.TailOptions{Interval: *interval, Logf: logf})
+		if err != nil {
+			cli.Close()
+			return err
+		}
+		src, stop = t, func() { t.Stop(); cli.Close() }
+	}
+	defer stop()
+
+	if *once {
+		return printSnapshot(src.Snapshot(), *asJSON)
+	}
+	if *httpAddr != "" {
+		srv, err := live.Serve(*httpAddr, src)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("taskprov watch: serving on http://%s (/snapshot /metrics /events)\n", srv.Addr())
+		if started != nil {
+			started <- srv.Addr()
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		return nil
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			return nil
+		case <-tick.C:
+			if err := printSnapshot(src.Snapshot(), *asJSON); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func printSnapshot(s live.Summary, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(s)
+	}
+	warns := 0
+	for _, n := range s.Warnings {
+		warns += n
+	}
+	_, err := fmt.Printf("events=%d tasks=%d transfers=%d io_ops=%d warnings=%d anomalies=%d wall=%.1fs\n",
+		s.Events, s.Tasks, s.Transfers, s.IOOps, warns, len(s.Anomalies), s.WallSeconds)
+	return err
 }

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"taskprov/internal/live"
+	"taskprov/internal/mofka"
 )
 
 func TestCmdList(t *testing.T) {
@@ -59,5 +64,93 @@ func TestCmdRunAblationFlags(t *testing.T) {
 	}
 	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
 		t.Fatalf("no-collect run wrote artifacts: %v", entries)
+	}
+}
+
+func TestMoveAsideDataDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	// Not a data dir: nothing moves.
+	if dst, err := moveAsideDataDir(dir); err != nil || dst != "" {
+		t.Fatalf("moveAside on missing dir = %q, %v", dst, err)
+	}
+	mkDataDir := func() {
+		b, err := mofka.NewDurableBroker(mofka.Options{DataDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.OpenOrCreateTopic(mofka.TopicConfig{Name: "t", Partitions: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mkDataDir()
+	dst, err := moveAsideDataDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dst != dir+".old-1" || !mofka.IsDataDir(dst) {
+		t.Fatalf("moved to %q (data dir: %v)", dst, mofka.IsDataDir(dst))
+	}
+	if mofka.IsDataDir(dir) {
+		t.Fatal("original dir still holds an event log")
+	}
+	// A second stale log picks the next free suffix.
+	mkDataDir()
+	if dst, err = moveAsideDataDir(dir); err != nil || dst != dir+".old-2" {
+		t.Fatalf("second moveAside = %q, %v", dst, err)
+	}
+}
+
+// TestCmdRunForceAndWatch covers the -force flow end to end plus
+// `taskprov watch -once` over the resulting durable log.
+func TestCmdRunForceAndWatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workflow run")
+	}
+	out, wal := t.TempDir(), t.TempDir()
+	base := []string{"-workflow", "imageprocessing", "-seed", "7", "-out", out, "-data-dir", wal, "-live"}
+	if err := cmdRun(base); err != nil {
+		t.Fatal(err)
+	}
+	runWAL := filepath.Join(wal, "imageprocessing-0007")
+	if !mofka.IsDataDir(runWAL) {
+		t.Fatalf("%s is not a data dir", runWAL)
+	}
+	// Same seed again: refused without -force, accepted with it.
+	if err := cmdRun(base); err == nil {
+		t.Fatal("rerun over an existing event log succeeded without -force")
+	}
+	if err := cmdRun(append(base, "-force")); err != nil {
+		t.Fatal(err)
+	}
+	if !mofka.IsDataDir(runWAL + ".old-1") {
+		t.Fatal("stale log was not moved to .old-1")
+	}
+
+	// watch -once -json over the new log prints a parseable Summary.
+	stdout := os.Stdout
+	pr, pw, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = pw
+	watchErr := cmdWatch([]string{"-data-dir", runWAL, "-once", "-json"}, nil)
+	pw.Close()
+	os.Stdout = stdout
+	raw, err := io.ReadAll(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if watchErr != nil {
+		t.Fatal(watchErr)
+	}
+	var sum live.Summary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("watch -json output unparseable: %v\n%s", err, raw)
+	}
+	if sum.Tasks == 0 || sum.Workflow != "imageprocessing" {
+		t.Fatalf("watch summary = %+v", sum)
 	}
 }

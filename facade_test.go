@@ -19,9 +19,20 @@ func TestFacadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := taskprov.DefaultSession("imageprocessing", "facade-001", 13)
+	cfg.LiveMonitor = true
 	art, err := taskprov.Run(cfg, wf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if art.Live == nil {
+		t.Fatal("LiveMonitor enabled but art.Live is nil")
+	}
+	ref, err := taskprov.LiveReplay(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Live.Tasks != ref.Tasks || art.Live.ComputeSeconds != ref.ComputeSeconds {
+		t.Fatalf("live summary diverged from replay: %+v vs %+v", art.Live, ref)
 	}
 
 	dir := filepath.Join(t.TempDir(), "facade-001")

@@ -10,246 +10,90 @@
 // producer"), Darshan runtimes per worker collect I/O counters and DXT
 // traces independently, and the two are only fused later, at analysis time,
 // on shared identifiers (hostname, pthread ID, timestamps).
+//
+// The event schema itself — topic names and the encode/parse pairs — lives
+// in internal/provenance so that stream consumers that core itself depends
+// on (the live monitoring subsystem, internal/live) can share it without an
+// import cycle. This file re-exports the schema under the historical names.
 package core
 
 import (
-	"fmt"
-
 	"taskprov/internal/dask"
 	"taskprov/internal/mofka"
+	"taskprov/internal/provenance"
 	"taskprov/internal/sim"
 )
 
-// Mofka topic names used by the provenance plugins.
+// Mofka topic names used by the provenance plugins (see
+// internal/provenance).
 const (
-	TopicTaskMeta    = "task-meta"
-	TopicTransitions = "task-transitions"
-	TopicExecutions  = "task-executions"
-	TopicTransfers   = "transfers"
-	TopicWarnings    = "warnings"
-	TopicHeartbeats  = "heartbeats"
-	TopicSteals      = "steals"
-	TopicGraphs      = "graph-events"
+	TopicTaskMeta    = provenance.TopicTaskMeta
+	TopicTransitions = provenance.TopicTransitions
+	TopicExecutions  = provenance.TopicExecutions
+	TopicTransfers   = provenance.TopicTransfers
+	TopicWarnings    = provenance.TopicWarnings
+	TopicHeartbeats  = provenance.TopicHeartbeats
+	TopicSteals      = provenance.TopicSteals
+	TopicGraphs      = provenance.TopicGraphs
+	TopicAnomalies   = provenance.TopicAnomalies
 )
 
 // AllTopics lists every topic the plugins produce into.
-func AllTopics() []string {
-	return []string{
-		TopicTaskMeta, TopicTransitions, TopicExecutions, TopicTransfers,
-		TopicWarnings, TopicHeartbeats, TopicSteals, TopicGraphs,
-	}
-}
-
-// seconds renders a virtual time as float seconds for event metadata.
-func seconds(t sim.Time) float64 { return t.Seconds() }
+func AllTopics() []string { return provenance.AllTopics() }
 
 // TaskMetaEvent encodes a TaskMeta as Mofka event metadata.
-func TaskMetaEvent(m dask.TaskMeta) mofka.Metadata {
-	deps := make([]any, len(m.Deps))
-	for i, d := range m.Deps {
-		deps[i] = string(d)
-	}
-	return mofka.Metadata{
-		"key": string(m.Key), "prefix": m.Prefix, "group": m.Group,
-		"graph_id": m.GraphID, "deps": deps, "at": seconds(m.At),
-	}
-}
+func TaskMetaEvent(m dask.TaskMeta) mofka.Metadata { return provenance.TaskMetaEvent(m) }
 
 // TransitionEvent encodes a Transition as Mofka event metadata.
-func TransitionEvent(t dask.Transition) mofka.Metadata {
-	return mofka.Metadata{
-		"key": string(t.Key), "from": string(t.From), "to": string(t.To),
-		"stimulus": t.Stimulus, "location": t.Location, "at": seconds(t.At),
-	}
-}
+func TransitionEvent(t dask.Transition) mofka.Metadata { return provenance.TransitionEvent(t) }
 
 // ExecutionEvent encodes a TaskExecution as Mofka event metadata.
-func ExecutionEvent(e dask.TaskExecution) mofka.Metadata {
-	return mofka.Metadata{
-		"key": string(e.Key), "worker": e.Worker, "hostname": e.Hostname,
-		"thread_id": e.ThreadID, "start": seconds(e.Start), "stop": seconds(e.Stop),
-		"output_size": e.OutputSize, "graph_id": e.GraphID,
-	}
-}
+func ExecutionEvent(e dask.TaskExecution) mofka.Metadata { return provenance.ExecutionEvent(e) }
 
 // TransferEvent encodes a Transfer as Mofka event metadata.
-func TransferEvent(t dask.Transfer) mofka.Metadata {
-	return mofka.Metadata{
-		"key": string(t.Key), "from": t.From, "to": t.To, "bytes": t.Bytes,
-		"start": seconds(t.Start), "stop": seconds(t.Stop), "same_node": t.SameNode,
-	}
-}
+func TransferEvent(t dask.Transfer) mofka.Metadata { return provenance.TransferEvent(t) }
 
 // WarningEvent encodes a Warning as Mofka event metadata.
-func WarningEvent(w dask.Warning) mofka.Metadata {
-	return mofka.Metadata{
-		"kind": string(w.Kind), "worker": w.Worker, "hostname": w.Hostname,
-		"at": seconds(w.At), "duration": seconds(w.Duration), "message": w.Message,
-	}
-}
+func WarningEvent(w dask.Warning) mofka.Metadata { return provenance.WarningEvent(w) }
 
 // HeartbeatEvent encodes a WorkerMetrics sample as Mofka event metadata.
-func HeartbeatEvent(m dask.WorkerMetrics) mofka.Metadata {
-	return mofka.Metadata{
-		"worker": m.Worker, "at": seconds(m.At), "memory": m.Memory,
-		"executing": m.Executing, "ready": m.Ready,
-	}
-}
+func HeartbeatEvent(m dask.WorkerMetrics) mofka.Metadata { return provenance.HeartbeatEvent(m) }
 
 // StealEventMeta encodes a StealEvent as Mofka event metadata.
-func StealEventMeta(s dask.StealEvent) mofka.Metadata {
-	return mofka.Metadata{
-		"key": string(s.Key), "victim": s.Victim, "thief": s.Thief, "at": seconds(s.At),
-	}
-}
+func StealEventMeta(s dask.StealEvent) mofka.Metadata { return provenance.StealEventMeta(s) }
 
 // GraphDoneEvent encodes a graph completion as Mofka event metadata.
 func GraphDoneEvent(graphID int, at sim.Time) mofka.Metadata {
-	return mofka.Metadata{"graph_id": graphID, "event": "done", "at": seconds(at)}
+	return provenance.GraphDoneEvent(graphID, at)
 }
 
 // ---- decoding (used by PERFRECUP loaders) ----
 
-func str(m mofka.Metadata, k string) string {
-	s, _ := m[k].(string)
-	return s
-}
-
-func num(m mofka.Metadata, k string) float64 {
-	switch v := m[k].(type) {
-	case float64:
-		return v
-	case int:
-		return float64(v)
-	case int64:
-		return float64(v)
-	case uint64:
-		return float64(v)
-	default:
-		return 0
-	}
-}
+func str(m mofka.Metadata, k string) string  { return provenance.Str(m, k) }
+func num(m mofka.Metadata, k string) float64 { return provenance.Num(m, k) }
 
 // ParseTransition decodes metadata written by TransitionEvent.
-func ParseTransition(m mofka.Metadata) dask.Transition {
-	return dask.Transition{
-		Key:      dask.TaskKey(str(m, "key")),
-		From:     dask.TaskState(str(m, "from")),
-		To:       dask.TaskState(str(m, "to")),
-		Stimulus: str(m, "stimulus"),
-		Location: str(m, "location"),
-		At:       sim.Seconds(num(m, "at")),
-	}
-}
+func ParseTransition(m mofka.Metadata) dask.Transition { return provenance.ParseTransition(m) }
 
 // ParseExecution decodes metadata written by ExecutionEvent.
-func ParseExecution(m mofka.Metadata) dask.TaskExecution {
-	return dask.TaskExecution{
-		Key:        dask.TaskKey(str(m, "key")),
-		Worker:     str(m, "worker"),
-		Hostname:   str(m, "hostname"),
-		ThreadID:   uint64(num(m, "thread_id")),
-		Start:      sim.Seconds(num(m, "start")),
-		Stop:       sim.Seconds(num(m, "stop")),
-		OutputSize: int64(num(m, "output_size")),
-		GraphID:    int(num(m, "graph_id")),
-	}
-}
+func ParseExecution(m mofka.Metadata) dask.TaskExecution { return provenance.ParseExecution(m) }
 
 // ParseTransfer decodes metadata written by TransferEvent.
-func ParseTransfer(m mofka.Metadata) dask.Transfer {
-	sameNode, _ := m["same_node"].(bool)
-	return dask.Transfer{
-		Key:      dask.TaskKey(str(m, "key")),
-		From:     str(m, "from"),
-		To:       str(m, "to"),
-		Bytes:    int64(num(m, "bytes")),
-		Start:    sim.Seconds(num(m, "start")),
-		Stop:     sim.Seconds(num(m, "stop")),
-		SameNode: sameNode,
-	}
-}
+func ParseTransfer(m mofka.Metadata) dask.Transfer { return provenance.ParseTransfer(m) }
 
 // ParseWarning decodes metadata written by WarningEvent.
-func ParseWarning(m mofka.Metadata) dask.Warning {
-	return dask.Warning{
-		Kind:     dask.WarningKind(str(m, "kind")),
-		Worker:   str(m, "worker"),
-		Hostname: str(m, "hostname"),
-		At:       sim.Seconds(num(m, "at")),
-		Duration: sim.Seconds(num(m, "duration")),
-		Message:  str(m, "message"),
-	}
-}
+func ParseWarning(m mofka.Metadata) dask.Warning { return provenance.ParseWarning(m) }
 
 // ParseTaskMeta decodes metadata written by TaskMetaEvent.
-func ParseTaskMeta(m mofka.Metadata) dask.TaskMeta {
-	var deps []dask.TaskKey
-	if raw, ok := m["deps"].([]any); ok {
-		for _, d := range raw {
-			if s, ok := d.(string); ok {
-				deps = append(deps, dask.TaskKey(s))
-			}
-		}
-	}
-	return dask.TaskMeta{
-		Key:     dask.TaskKey(str(m, "key")),
-		Prefix:  str(m, "prefix"),
-		Group:   str(m, "group"),
-		GraphID: int(num(m, "graph_id")),
-		Deps:    deps,
-		At:      sim.Seconds(num(m, "at")),
-	}
-}
+func ParseTaskMeta(m mofka.Metadata) dask.TaskMeta { return provenance.ParseTaskMeta(m) }
 
 // ParseHeartbeat decodes metadata written by HeartbeatEvent.
-func ParseHeartbeat(m mofka.Metadata) dask.WorkerMetrics {
-	return dask.WorkerMetrics{
-		Worker:    str(m, "worker"),
-		At:        sim.Seconds(num(m, "at")),
-		Memory:    int64(num(m, "memory")),
-		Executing: int(num(m, "executing")),
-		Ready:     int(num(m, "ready")),
-	}
-}
+func ParseHeartbeat(m mofka.Metadata) dask.WorkerMetrics { return provenance.ParseHeartbeat(m) }
 
 // ParseSteal decodes metadata written by StealEventMeta.
-func ParseSteal(m mofka.Metadata) dask.StealEvent {
-	return dask.StealEvent{
-		Key:    dask.TaskKey(str(m, "key")),
-		Victim: str(m, "victim"),
-		Thief:  str(m, "thief"),
-		At:     sim.Seconds(num(m, "at")),
-	}
-}
-
-// mustParse asserts an event's metadata decodes, panicking with context on
-// corruption (events are produced by this same package).
-func mustParse(ev mofka.Event) mofka.Metadata {
-	m, err := ev.ParseMetadata()
-	if err != nil {
-		panic(fmt.Sprintf("core: corrupt event %s[%d]/%d: %v", ev.Topic, ev.Partition, ev.ID, err))
-	}
-	return m
-}
+func ParseSteal(m mofka.Metadata) dask.StealEvent { return provenance.ParseSteal(m) }
 
 // DrainTopic pulls every event of a topic and decodes its metadata.
 func DrainTopic(b *mofka.Broker, topic string) ([]mofka.Metadata, error) {
-	t, err := b.OpenTopic(topic)
-	if err != nil {
-		return nil, err
-	}
-	c, err := t.NewConsumer(mofka.ConsumerOptions{NoData: true})
-	if err != nil {
-		return nil, err
-	}
-	evs, err := c.Drain()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]mofka.Metadata, len(evs))
-	for i, ev := range evs {
-		out[i] = mustParse(ev)
-	}
-	return out, nil
+	return provenance.DrainTopic(b, topic)
 }

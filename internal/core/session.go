@@ -7,6 +7,7 @@ import (
 
 	"taskprov/internal/darshan"
 	"taskprov/internal/dask"
+	"taskprov/internal/live"
 	"taskprov/internal/mofka"
 	"taskprov/internal/mofka/wal"
 	"taskprov/internal/pfs"
@@ -67,6 +68,19 @@ type SessionConfig struct {
 	// DisableCollection turns off all instrumentation (for overhead
 	// ablations): no plugins, no Darshan tracers.
 	DisableCollection bool
+
+	// LiveMonitor attaches an internal/live Monitor to the run's broker:
+	// streaming aggregation and online anomaly detection while the
+	// workflow executes, with the final Summary in RunArtifacts.Live. The
+	// monitor's end-of-run aggregates are guaranteed equal to the
+	// post-mortem PERFRECUP views over the same artifacts.
+	LiveMonitor bool
+	// LiveHTTPAddr, when set together with LiveMonitor, serves the live
+	// snapshot/metrics/SSE endpoints on this address for the duration of
+	// the run (e.g. "127.0.0.1:9090").
+	LiveHTTPAddr string
+	// LiveOptions tunes the monitor (zero value = defaults).
+	LiveOptions live.MonitorOptions
 }
 
 // DefaultSessionConfig mirrors the paper's setup: Polaris-like platform with
@@ -90,6 +104,10 @@ type RunArtifacts struct {
 	Broker      *mofka.Broker
 	DarshanLogs []*darshan.Log
 	Collector   *Collector
+
+	// Live is the live monitor's final Summary, set when
+	// SessionConfig.LiveMonitor was enabled.
+	Live *live.Summary
 
 	WallTime sim.Time
 }
@@ -161,6 +179,39 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		cluster.AddWorkerPlugin(collector.WorkerPlugin())
 	}
 
+	// Live monitoring: attach the streaming aggregator to the broker before
+	// the run starts, so it consumes the provenance topics while the
+	// workflow executes. Its final aggregates equal the post-mortem
+	// PERFRECUP views (the equivalence invariant, see internal/live).
+	var monitor *live.Monitor
+	var liveSrv *live.Server
+	if cfg.LiveMonitor {
+		monitor = live.NewMonitor(broker, cfg.LiveOptions)
+		slots := cfg.Platform.Nodes * cfg.Dask.WorkersPerNode * cfg.Dask.ThreadsPerWorker
+		monitor.Aggregator().SetMeta(wf.Name(), cfg.Seed, slots)
+		if cfg.LiveHTTPAddr != "" {
+			var err error
+			liveSrv, err = live.Serve(cfg.LiveHTTPAddr, monitor)
+			if err != nil {
+				monitor.Stop()
+				return nil, err
+			}
+		}
+	}
+	finishedRun := false
+	defer func() {
+		if finishedRun {
+			return
+		}
+		// Error path: tear the monitor down without a final Summary.
+		if liveSrv != nil {
+			liveSrv.Close()
+		}
+		if monitor != nil {
+			monitor.Stop()
+		}
+	}()
+
 	env := &Env{Kernel: k, Platform: plat, PFS: fsys, FS: px, Cluster: cluster, RNG: k.RNG("workflow")}
 	wf.Stage(env)
 
@@ -190,6 +241,14 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 	for _, rt := range runtimes {
 		art.DarshanLogs = append(art.DarshanLogs, rt.Snapshot())
 	}
+	if monitor != nil {
+		sum := monitor.Finish(art.DarshanLogs, (end - start).Seconds())
+		art.Live = &sum
+		if liveSrv != nil {
+			liveSrv.Close()
+		}
+	}
+	finishedRun = true
 	dxtBuf := cfg.DXTBufferSegments
 	if dxtBuf <= 0 {
 		dxtBuf = darshan.DefaultDXTBufferSegments

@@ -1,0 +1,246 @@
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"taskprov/internal/darshan"
+	"taskprov/internal/mofka"
+	"taskprov/internal/provenance"
+)
+
+// MonitorOptions configures a Monitor.
+type MonitorOptions struct {
+	// ConsumerName names the monitor's consumer group for cursor commits;
+	// on a durable broker a restarted monitor resumes where it left off.
+	// Default "live-monitor".
+	ConsumerName string
+	// PollInterval is the idle sleep between pull sweeps. Default 10ms.
+	PollInterval time.Duration
+	// BatchSize is the per-topic pull granularity; one cursor commit per
+	// batch per partition (Consumer.CommitBatch), not one per event.
+	// Default 256.
+	BatchSize int
+	// DisableEmit turns off producing anomalies into the
+	// provenance.TopicAnomalies topic (they still appear in snapshots).
+	// Emission also auto-disables when the broker rejects appends, e.g.
+	// post-mortem read-only brokers.
+	DisableEmit bool
+	// DisableCommit turns off cursor commits (anonymous tailing).
+	DisableCommit bool
+	// Aggregator tunes windows and detectors.
+	Aggregator AggregatorOptions
+	// Logf, when set, receives one-line operational notices (emission
+	// disabled, commit failures).
+	Logf func(format string, args ...any)
+}
+
+func (o MonitorOptions) withDefaults() MonitorOptions {
+	if o.ConsumerName == "" {
+		o.ConsumerName = "live-monitor"
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 10 * time.Millisecond
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	return o
+}
+
+// Monitor attaches a consumer group to a broker's provenance topics and
+// streams them through an Aggregator while the run is in flight. One
+// background goroutine sweeps all topics; topics are attached lazily as they
+// appear on the broker, so the monitor may be started before the collector
+// creates them.
+type Monitor struct {
+	broker *mofka.Broker
+	opts   MonitorOptions
+	agg    *Aggregator
+
+	mu        sync.Mutex
+	consumers map[string]*mofka.Consumer
+	emitter   *mofka.Producer
+	emitDead  bool
+	commitOff bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewMonitor starts monitoring the broker. The returned monitor is already
+// running; call Finish (complete runs) or Stop (abandon) exactly once.
+func NewMonitor(b *mofka.Broker, opts MonitorOptions) *Monitor {
+	opts = opts.withDefaults()
+	m := &Monitor{
+		broker:    b,
+		opts:      opts,
+		agg:       NewAggregator(opts.Aggregator),
+		consumers: make(map[string]*mofka.Consumer),
+		commitOff: opts.DisableCommit,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	m.agg.OnAnomaly(m.publish)
+	go m.loop()
+	return m
+}
+
+// Aggregator exposes the underlying aggregator (for SetMeta and direct
+// ingestion of side-channel sources like streamed I/O segments).
+func (m *Monitor) Aggregator() *Aggregator { return m.agg }
+
+// Snapshot returns the current aggregates; safe to call concurrently with
+// the pull loop.
+func (m *Monitor) Snapshot() Summary { return m.agg.Snapshot() }
+
+// SubscribeAnomalies returns a channel carrying every anomaly raised from
+// now on. The channel is buffered; slow receivers lose anomalies rather
+// than stalling ingestion.
+func (m *Monitor) SubscribeAnomalies() <-chan Anomaly { return m.agg.SubscribeAnomalies() }
+
+func (m *Monitor) logf(format string, args ...any) {
+	if m.opts.Logf != nil {
+		m.opts.Logf(format, args...)
+	}
+}
+
+// publish is the aggregator's anomaly callback: emit into the anomalies
+// topic (snapshot/SSE delivery happens via the aggregator itself).
+func (m *Monitor) publish(a Anomaly) {
+	if m.opts.DisableEmit {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.emitDead {
+		return
+	}
+	if m.emitter == nil {
+		t, err := m.broker.OpenOrCreateTopic(mofka.TopicConfig{Name: provenance.TopicAnomalies, Partitions: 1})
+		if err != nil {
+			m.emitDead = true
+			m.logf("live: anomaly emission disabled: %v", err)
+			return
+		}
+		m.emitter = t.NewProducer(mofka.ProducerOptions{BatchSize: 1})
+	}
+	if err := m.emitter.Push(a.Event(), nil); err != nil {
+		m.emitDead = true
+		m.logf("live: anomaly emission disabled: %v", err)
+	}
+}
+
+// consumer returns (creating lazily) the consumer for one provenance topic,
+// or nil while the topic does not exist yet.
+func (m *Monitor) consumer(topic string) *mofka.Consumer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.consumers[topic]; ok {
+		return c
+	}
+	t, err := m.broker.OpenTopic(topic)
+	if err != nil {
+		return nil // not created yet
+	}
+	c, err := t.NewConsumer(mofka.ConsumerOptions{
+		Name:          m.opts.ConsumerName,
+		NoData:        true,
+		FromCommitted: !m.opts.DisableCommit,
+		Prefetch:      m.opts.BatchSize,
+	})
+	if err != nil {
+		m.logf("live: subscribe %s: %v", topic, err)
+		return nil
+	}
+	m.consumers[topic] = c
+	return c
+}
+
+// sweep pulls one batch from every attached topic. It returns the number of
+// events ingested.
+func (m *Monitor) sweep() int {
+	total := 0
+	for _, topic := range provenance.AllTopics() {
+		c := m.consumer(topic)
+		if c == nil {
+			continue
+		}
+		for {
+			evs, err := c.PullBatch(m.opts.BatchSize)
+			if err != nil {
+				m.logf("live: pull %s: %v", topic, err)
+				break
+			}
+			if len(evs) == 0 {
+				break
+			}
+			total += len(evs)
+			for _, ev := range evs {
+				m.agg.IngestEvent(topic, ev.Partition, provenance.MustParse(ev))
+			}
+			if !m.commitOff {
+				if err := c.CommitBatch(evs); err != nil {
+					m.commitOff = true
+					m.logf("live: cursor commits disabled: %v", err)
+				}
+			}
+			if len(evs) < m.opts.BatchSize {
+				break
+			}
+		}
+	}
+	return total
+}
+
+func (m *Monitor) loop() {
+	defer close(m.done)
+	for {
+		n := m.sweep()
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		if m.broker.IsClosed() && n == 0 {
+			// Broker closed and everything published before the close has
+			// been consumed: nothing more can arrive.
+			return
+		}
+		if n == 0 {
+			select {
+			case <-m.stop:
+				return
+			case <-time.After(m.opts.PollInterval):
+			}
+		}
+	}
+}
+
+// Stop halts the pull loop without draining. Idempotent.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Finish completes monitoring for a finished run: the pull loop is stopped,
+// every remaining event is drained, the run's Darshan logs are folded in,
+// the wall time is set, and the final Summary — the one the equivalence
+// invariant holds for — is returned.
+func (m *Monitor) Finish(logs []*darshan.Log, wallSeconds float64) Summary {
+	m.Stop()
+	for m.sweep() > 0 {
+	}
+	for _, l := range logs {
+		m.agg.IngestDarshanLog(l)
+	}
+	m.agg.SetWall(wallSeconds)
+	return m.agg.Snapshot()
+}
+
+// String identifies the monitor in logs.
+func (m *Monitor) String() string {
+	return fmt.Sprintf("live.Monitor(%s)", m.opts.ConsumerName)
+}

@@ -173,6 +173,14 @@ func (b *Broker) Close() error {
 	return firstErr
 }
 
+// IsClosed reports whether Close has been called. Long-lived consumers (the
+// live monitor's pull loop) use it as their exit condition.
+func (b *Broker) IsClosed() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.closed
+}
+
 // Sync forces every durable partition log to stable storage (a no-op for
 // in-memory brokers) without closing anything.
 func (b *Broker) Sync() error {

@@ -1,0 +1,71 @@
+package mofka
+
+import "testing"
+
+func TestCommitBatch(t *testing.T) {
+	b, tp := newTopic(t, "t", 3)
+	p := tp.NewProducer(ProducerOptions{})
+	for i := 0; i < 12; i++ {
+		p.Push(Metadata{"i": i}, nil)
+	}
+	p.Flush()
+
+	c1, _ := tp.NewConsumer(ConsumerOptions{Name: "monitor"})
+	evs, err := c1.PullBatch(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 9 {
+		t.Fatalf("pulled %d events, want 9", len(evs))
+	}
+	if err := c1.CommitBatch(evs); err != nil {
+		t.Fatal(err)
+	}
+	// One cursor per partition, each at the highest acked offset + 1.
+	want := map[int]uint64{}
+	for _, ev := range evs {
+		if next := ev.ID + 1; next > want[ev.Partition] {
+			want[ev.Partition] = next
+		}
+	}
+	if len(want) != 3 {
+		t.Fatalf("batch covered %d partitions, want 3", len(want))
+	}
+	for part, next := range want {
+		if got := b.LoadCursor("monitor", "t", part); got != next {
+			t.Fatalf("cursor[%d] = %d, want %d", part, got, next)
+		}
+	}
+
+	// A resumed consumer sees exactly the uncommitted remainder.
+	c2, _ := tp.NewConsumer(ConsumerOptions{Name: "monitor", FromCommitted: true})
+	rest, _ := c2.Drain()
+	if len(rest) != 12-9 {
+		t.Fatalf("resumed consumer got %d events, want 3", len(rest))
+	}
+}
+
+func TestCommitBatchEmptyAndAnonymous(t *testing.T) {
+	_, tp := newTopic(t, "t", 1)
+	named, _ := tp.NewConsumer(ConsumerOptions{Name: "n"})
+	if err := named.CommitBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	anon, _ := tp.NewConsumer(ConsumerOptions{})
+	if err := anon.CommitBatch([]Event{{}}); err == nil {
+		t.Fatal("anonymous CommitBatch succeeded")
+	}
+}
+
+func TestBrokerIsClosed(t *testing.T) {
+	b := NewStandaloneBroker()
+	if b.IsClosed() {
+		t.Fatal("fresh broker reports closed")
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.IsClosed() {
+		t.Fatal("closed broker reports open")
+	}
+}

@@ -2,6 +2,7 @@ package mofka
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -184,6 +185,37 @@ func (c *Consumer) Commit(ev Event) error {
 		return fmt.Errorf("mofka: anonymous consumer cannot commit")
 	}
 	return c.topic.broker.CommitCursor(c.opts.Name, c.topic.cfg.Name, ev.Partition, ev.ID+1)
+}
+
+// CommitBatch durably records a whole batch of processed events with one
+// cursor write per distinct partition (not one per event): for each
+// partition represented in the batch, the highest event ID wins. Batch
+// consumers (PullBatch/Drain users) should prefer this over per-event
+// Commit — on a durable broker every commit is an fsynced sidecar write.
+func (c *Consumer) CommitBatch(evs []Event) error {
+	if c.opts.Name == "" {
+		return fmt.Errorf("mofka: anonymous consumer cannot commit")
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	high := make(map[int]uint64, 2)
+	for _, ev := range evs {
+		if next := ev.ID + 1; next > high[ev.Partition] {
+			high[ev.Partition] = next
+		}
+	}
+	parts := make([]int, 0, len(high))
+	for p := range high {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		if err := c.topic.broker.CommitCursor(c.opts.Name, c.topic.cfg.Name, p, high[p]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Progress returns the next unread offset for a partition.

@@ -1,0 +1,26 @@
+package perfrecup
+
+import (
+	"taskprov/internal/core"
+	"taskprov/internal/live"
+)
+
+// LiveReplay feeds a completed run's artifacts through the live-monitoring
+// aggregator (internal/live), post-mortem. It is both an analysis surface —
+// live.Summary's group quantiles, state occupancy, and per-worker figures as
+// batch views — and the reference side of the aggregate-equivalence
+// invariant: a live Monitor's final Summary over a run must equal
+// LiveReplay's over the same artifacts (see DESIGN.md).
+func LiveReplay(art *core.RunArtifacts, opts live.AggregatorOptions) (live.Summary, error) {
+	agg := live.NewAggregator(opts)
+	if err := live.ReplayBroker(art.Broker, agg); err != nil {
+		return live.Summary{}, err
+	}
+	for _, l := range art.DarshanLogs {
+		agg.IngestDarshanLog(l)
+	}
+	slots := art.Meta.Job.Nodes * art.Meta.Job.WorkersPerNode * art.Meta.Job.ThreadsPerWorker
+	agg.SetMeta(art.Meta.Workflow, art.Meta.Seed, slots)
+	agg.SetWall(art.Meta.WallSeconds)
+	return agg.Snapshot(), nil
+}

@@ -2,6 +2,7 @@ package perfrecup
 
 import (
 	"taskprov/internal/core"
+	"taskprov/internal/live"
 )
 
 // PhaseBreakdown is the per-run decomposition behind Fig. 3: cumulative
@@ -31,52 +32,29 @@ type PhaseBreakdown struct {
 	Tasks     int64
 }
 
-// Phases computes the breakdown from one run's artifacts.
+// Phases computes the breakdown from one run's artifacts. The computation
+// itself lives in internal/live (exec time includes I/O performed inside
+// tasks, so computation = exec − I/O clamped at zero, all divided by the
+// thread-slot count); PERFRECUP and the live monitor thereby share one
+// implementation of the phase definitions, which is what makes the
+// live/post-mortem equivalence invariant checkable at all.
 func Phases(art *core.RunArtifacts) (PhaseBreakdown, error) {
-	b := PhaseBreakdown{
-		Workflow:     art.Meta.Workflow,
-		Seed:         art.Meta.Seed,
-		TotalSeconds: art.Meta.WallSeconds,
-	}
-	for _, l := range art.DarshanLogs {
-		for _, rec := range l.Records {
-			b.IOSeconds += rec.Counters.ReadTime + rec.Counters.WriteTime
-			b.IOOps += rec.Counters.Reads + rec.Counters.Writes
-		}
-	}
-	transfers, err := core.DrainTopic(art.Broker, core.TopicTransfers)
+	sum, err := LiveReplay(art, live.AggregatorOptions{Anomaly: live.AnomalyConfig{Disable: true}})
 	if err != nil {
-		return b, err
+		return PhaseBreakdown{Workflow: art.Meta.Workflow, Seed: art.Meta.Seed}, err
 	}
-	for _, m := range transfers {
-		t := core.ParseTransfer(m)
-		b.CommSeconds += (t.Stop - t.Start).Seconds()
-		b.Transfers++
-	}
-	execs, err := core.DrainTopic(art.Broker, core.TopicExecutions)
-	if err != nil {
-		return b, err
-	}
-	for _, m := range execs {
-		e := core.ParseExecution(m)
-		b.ComputeSeconds += (e.Stop - e.Start).Seconds()
-		b.Tasks++
-	}
-	// Execution time includes I/O performed inside tasks; subtracting the
-	// I/O share gives "computation" in the paper's sense.
-	b.ComputeSeconds -= b.IOSeconds
-	if b.ComputeSeconds < 0 {
-		b.ComputeSeconds = 0
-	}
-	// Convert the cumulative sums to per-thread-slot averages.
-	b.ThreadSlots = art.Meta.Job.Nodes * art.Meta.Job.WorkersPerNode * art.Meta.Job.ThreadsPerWorker
-	if b.ThreadSlots > 0 {
-		n := float64(b.ThreadSlots)
-		b.IOSeconds /= n
-		b.CommSeconds /= n
-		b.ComputeSeconds /= n
-	}
-	return b, nil
+	return PhaseBreakdown{
+		Workflow:       art.Meta.Workflow,
+		Seed:           art.Meta.Seed,
+		IOSeconds:      sum.IOSeconds,
+		CommSeconds:    sum.CommSeconds,
+		ComputeSeconds: sum.ComputeSeconds,
+		TotalSeconds:   sum.WallSeconds,
+		ThreadSlots:    sum.ThreadSlots,
+		IOOps:          sum.IOOps,
+		Transfers:      sum.Transfers,
+		Tasks:          sum.Tasks,
+	}, nil
 }
 
 // PhaseStats aggregates breakdowns across runs of one workflow: mean and

@@ -1,0 +1,262 @@
+// Package provenance defines the wire format of the WMS provenance stream:
+// the Mofka topic names the collection plugins produce into, and the
+// encode/parse pairs that turn the dask record types into Mofka event
+// metadata and back.
+//
+// It is deliberately a leaf package (no dependency on internal/core or
+// internal/perfrecup) so that every consumer of the stream — the in-run
+// collector, the post-mortem PERFRECUP loaders, and the live monitoring
+// subsystem (internal/live) — shares exactly one definition of the event
+// schema. internal/core re-exports the names for compatibility.
+package provenance
+
+import (
+	"fmt"
+
+	"taskprov/internal/dask"
+	"taskprov/internal/mofka"
+	"taskprov/internal/sim"
+)
+
+// Mofka topic names used by the provenance plugins.
+const (
+	TopicTaskMeta    = "task-meta"
+	TopicTransitions = "task-transitions"
+	TopicExecutions  = "task-executions"
+	TopicTransfers   = "transfers"
+	TopicWarnings    = "warnings"
+	TopicHeartbeats  = "heartbeats"
+	TopicSteals      = "steals"
+	TopicGraphs      = "graph-events"
+
+	// TopicAnomalies carries the live monitor's online findings back into
+	// the event space, so anomalies are themselves provenance (see
+	// internal/live).
+	TopicAnomalies = "anomalies"
+)
+
+// AllTopics lists every topic the collection plugins produce into. It does
+// NOT include TopicAnomalies, which is produced by the live monitor, not the
+// WMS plugins.
+func AllTopics() []string {
+	return []string{
+		TopicTaskMeta, TopicTransitions, TopicExecutions, TopicTransfers,
+		TopicWarnings, TopicHeartbeats, TopicSteals, TopicGraphs,
+	}
+}
+
+// seconds renders a virtual time as float seconds for event metadata.
+func seconds(t sim.Time) float64 { return t.Seconds() }
+
+// TaskMetaEvent encodes a TaskMeta as Mofka event metadata.
+func TaskMetaEvent(m dask.TaskMeta) mofka.Metadata {
+	deps := make([]any, len(m.Deps))
+	for i, d := range m.Deps {
+		deps[i] = string(d)
+	}
+	return mofka.Metadata{
+		"key": string(m.Key), "prefix": m.Prefix, "group": m.Group,
+		"graph_id": m.GraphID, "deps": deps, "at": seconds(m.At),
+	}
+}
+
+// TransitionEvent encodes a Transition as Mofka event metadata.
+func TransitionEvent(t dask.Transition) mofka.Metadata {
+	return mofka.Metadata{
+		"key": string(t.Key), "from": string(t.From), "to": string(t.To),
+		"stimulus": t.Stimulus, "location": t.Location, "at": seconds(t.At),
+	}
+}
+
+// ExecutionEvent encodes a TaskExecution as Mofka event metadata.
+func ExecutionEvent(e dask.TaskExecution) mofka.Metadata {
+	return mofka.Metadata{
+		"key": string(e.Key), "worker": e.Worker, "hostname": e.Hostname,
+		"thread_id": e.ThreadID, "start": seconds(e.Start), "stop": seconds(e.Stop),
+		"output_size": e.OutputSize, "graph_id": e.GraphID,
+	}
+}
+
+// TransferEvent encodes a Transfer as Mofka event metadata.
+func TransferEvent(t dask.Transfer) mofka.Metadata {
+	return mofka.Metadata{
+		"key": string(t.Key), "from": t.From, "to": t.To, "bytes": t.Bytes,
+		"start": seconds(t.Start), "stop": seconds(t.Stop), "same_node": t.SameNode,
+	}
+}
+
+// WarningEvent encodes a Warning as Mofka event metadata.
+func WarningEvent(w dask.Warning) mofka.Metadata {
+	return mofka.Metadata{
+		"kind": string(w.Kind), "worker": w.Worker, "hostname": w.Hostname,
+		"at": seconds(w.At), "duration": seconds(w.Duration), "message": w.Message,
+	}
+}
+
+// HeartbeatEvent encodes a WorkerMetrics sample as Mofka event metadata.
+func HeartbeatEvent(m dask.WorkerMetrics) mofka.Metadata {
+	return mofka.Metadata{
+		"worker": m.Worker, "at": seconds(m.At), "memory": m.Memory,
+		"executing": m.Executing, "ready": m.Ready,
+	}
+}
+
+// StealEventMeta encodes a StealEvent as Mofka event metadata.
+func StealEventMeta(s dask.StealEvent) mofka.Metadata {
+	return mofka.Metadata{
+		"key": string(s.Key), "victim": s.Victim, "thief": s.Thief, "at": seconds(s.At),
+	}
+}
+
+// GraphDoneEvent encodes a graph completion as Mofka event metadata.
+func GraphDoneEvent(graphID int, at sim.Time) mofka.Metadata {
+	return mofka.Metadata{"graph_id": graphID, "event": "done", "at": seconds(at)}
+}
+
+// ---- decoding ----
+
+// Str extracts a string field from event metadata ("" when absent).
+func Str(m mofka.Metadata, k string) string {
+	s, _ := m[k].(string)
+	return s
+}
+
+// Num extracts a numeric field from event metadata (0 when absent).
+func Num(m mofka.Metadata, k string) float64 {
+	switch v := m[k].(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	case int64:
+		return float64(v)
+	case uint64:
+		return float64(v)
+	default:
+		return 0
+	}
+}
+
+// ParseTransition decodes metadata written by TransitionEvent.
+func ParseTransition(m mofka.Metadata) dask.Transition {
+	return dask.Transition{
+		Key:      dask.TaskKey(Str(m, "key")),
+		From:     dask.TaskState(Str(m, "from")),
+		To:       dask.TaskState(Str(m, "to")),
+		Stimulus: Str(m, "stimulus"),
+		Location: Str(m, "location"),
+		At:       sim.Seconds(Num(m, "at")),
+	}
+}
+
+// ParseExecution decodes metadata written by ExecutionEvent.
+func ParseExecution(m mofka.Metadata) dask.TaskExecution {
+	return dask.TaskExecution{
+		Key:        dask.TaskKey(Str(m, "key")),
+		Worker:     Str(m, "worker"),
+		Hostname:   Str(m, "hostname"),
+		ThreadID:   uint64(Num(m, "thread_id")),
+		Start:      sim.Seconds(Num(m, "start")),
+		Stop:       sim.Seconds(Num(m, "stop")),
+		OutputSize: int64(Num(m, "output_size")),
+		GraphID:    int(Num(m, "graph_id")),
+	}
+}
+
+// ParseTransfer decodes metadata written by TransferEvent.
+func ParseTransfer(m mofka.Metadata) dask.Transfer {
+	sameNode, _ := m["same_node"].(bool)
+	return dask.Transfer{
+		Key:      dask.TaskKey(Str(m, "key")),
+		From:     Str(m, "from"),
+		To:       Str(m, "to"),
+		Bytes:    int64(Num(m, "bytes")),
+		Start:    sim.Seconds(Num(m, "start")),
+		Stop:     sim.Seconds(Num(m, "stop")),
+		SameNode: sameNode,
+	}
+}
+
+// ParseWarning decodes metadata written by WarningEvent.
+func ParseWarning(m mofka.Metadata) dask.Warning {
+	return dask.Warning{
+		Kind:     dask.WarningKind(Str(m, "kind")),
+		Worker:   Str(m, "worker"),
+		Hostname: Str(m, "hostname"),
+		At:       sim.Seconds(Num(m, "at")),
+		Duration: sim.Seconds(Num(m, "duration")),
+		Message:  Str(m, "message"),
+	}
+}
+
+// ParseTaskMeta decodes metadata written by TaskMetaEvent.
+func ParseTaskMeta(m mofka.Metadata) dask.TaskMeta {
+	var deps []dask.TaskKey
+	if raw, ok := m["deps"].([]any); ok {
+		for _, d := range raw {
+			if s, ok := d.(string); ok {
+				deps = append(deps, dask.TaskKey(s))
+			}
+		}
+	}
+	return dask.TaskMeta{
+		Key:     dask.TaskKey(Str(m, "key")),
+		Prefix:  Str(m, "prefix"),
+		Group:   Str(m, "group"),
+		GraphID: int(Num(m, "graph_id")),
+		Deps:    deps,
+		At:      sim.Seconds(Num(m, "at")),
+	}
+}
+
+// ParseHeartbeat decodes metadata written by HeartbeatEvent.
+func ParseHeartbeat(m mofka.Metadata) dask.WorkerMetrics {
+	return dask.WorkerMetrics{
+		Worker:    Str(m, "worker"),
+		At:        sim.Seconds(Num(m, "at")),
+		Memory:    int64(Num(m, "memory")),
+		Executing: int(Num(m, "executing")),
+		Ready:     int(Num(m, "ready")),
+	}
+}
+
+// ParseSteal decodes metadata written by StealEventMeta.
+func ParseSteal(m mofka.Metadata) dask.StealEvent {
+	return dask.StealEvent{
+		Key:    dask.TaskKey(Str(m, "key")),
+		Victim: Str(m, "victim"),
+		Thief:  Str(m, "thief"),
+		At:     sim.Seconds(Num(m, "at")),
+	}
+}
+
+// MustParse asserts an event's metadata decodes, panicking with context on
+// corruption (events are produced by this same module).
+func MustParse(ev mofka.Event) mofka.Metadata {
+	m, err := ev.ParseMetadata()
+	if err != nil {
+		panic(fmt.Sprintf("provenance: corrupt event %s[%d]/%d: %v", ev.Topic, ev.Partition, ev.ID, err))
+	}
+	return m
+}
+
+// DrainTopic pulls every event of a topic and decodes its metadata.
+func DrainTopic(b *mofka.Broker, topic string) ([]mofka.Metadata, error) {
+	t, err := b.OpenTopic(topic)
+	if err != nil {
+		return nil, err
+	}
+	c, err := t.NewConsumer(mofka.ConsumerOptions{NoData: true})
+	if err != nil {
+		return nil, err
+	}
+	evs, err := c.Drain()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]mofka.Metadata, len(evs))
+	for i, ev := range evs {
+		out[i] = MustParse(ev)
+	}
+	return out, nil
+}

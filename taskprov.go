@@ -25,6 +25,7 @@ package taskprov
 
 import (
 	"taskprov/internal/core"
+	"taskprov/internal/live"
 	"taskprov/internal/perfrecup"
 	"taskprov/internal/perfrecup/frame"
 	"taskprov/internal/workloads"
@@ -151,3 +152,31 @@ func AttributeIOToTasks(art *RunArtifacts) (Frame, error) {
 // internal/perfrecup/frame for its operations: filter, sort, group-by,
 // joins, CSV round-trips).
 type Frame = *frame.Frame
+
+// Live monitoring (see internal/live). Enable during a run with
+// SessionConfig.LiveMonitor (the final LiveSummary lands in
+// RunArtifacts.Live) and optionally SessionConfig.LiveHTTPAddr for the
+// /snapshot, /metrics, and /events endpoints; `taskprov watch` attaches the
+// same machinery to runs started elsewhere.
+type (
+	// LiveSummary is the live monitor's aggregate state: counters, phase
+	// decomposition, per-group duration quantiles, per-worker and per-host
+	// activity, sliding windows, and detected anomalies.
+	LiveSummary = live.Summary
+	// LiveAnomaly is one online-detector finding (straggler, event-loop
+	// streak, or I/O-bandwidth collapse).
+	LiveAnomaly = live.Anomaly
+)
+
+// LiveReplay rebuilds the live monitor's end-of-run aggregates from a run's
+// artifacts in canonical order — the reference side of the live/post-mortem
+// equivalence invariant (DESIGN.md §7).
+func LiveReplay(art *RunArtifacts) (LiveSummary, error) {
+	return perfrecup.LiveReplay(art, live.AggregatorOptions{})
+}
+
+// WatchDataDir builds live aggregates post-mortem from a durable Mofka data
+// directory, including the log of a crashed (kill -9) run.
+func WatchDataDir(dir string) (LiveSummary, error) {
+	return live.ReplayDataDir(dir, live.AggregatorOptions{})
+}
