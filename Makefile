@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench chaos verify
 
 build:
 	$(GO) build ./...
@@ -19,5 +19,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Seeded, deterministic fault-injection and recovery suites, race-enabled:
+# the chaos plan parser/controller, the scheduler crash-recovery tests
+# (including the crash-vs-baseline property test), and the end-to-end
+# degraded sessions in core/perfrecup/live.
+chaos:
+	$(GO) test -race -run 'TestParse|TestArm|TestEmptyPlan|TestWorkerCrash|TestLostKey|TestWorkerRestart|TestRepeatedCrash|TestCrash|TestChaos|TestRecoveryTimeline|TestAggregatorRecovery' \
+		./internal/chaos/ ./internal/dask/ ./internal/core/ ./internal/perfrecup/ ./internal/live/
+
 # Everything CI runs.
-verify: build vet test race
+verify: build vet test race chaos

@@ -56,7 +56,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-live] [-live-http ADDR] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-live] [-live-http ADDR] [-chaos SPEC] [-no-dxt] [-no-collect] [-no-steal]
   taskprov watch (-data-dir DIR | -broker ADDR) [-http ADDR] [-interval DUR] [-once] [-json]
   taskprov list`)
 }
@@ -82,6 +82,7 @@ func cmdRun(args []string) error {
 	force := fs.Bool("force", false, "move an existing event log for the run aside (<dir>.old-<n>) instead of refusing")
 	liveMon := fs.Bool("live", false, "attach the live monitor (streaming aggregates + online anomaly detection)")
 	liveHTTP := fs.String("live-http", "", "with -live, serve /snapshot /metrics /events on this address during the run")
+	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "kill worker=3 at=20s restart=10s" (see internal/chaos)`)
 	noDXT := fs.Bool("no-dxt", false, "disable Darshan DXT tracing")
 	noCollect := fs.Bool("no-collect", false, "disable all instrumentation (overhead ablation)")
 	noSteal := fs.Bool("no-steal", false, "disable work stealing (scheduling ablation)")
@@ -119,6 +120,7 @@ func cmdRun(args []string) error {
 		}
 		cfg.LiveMonitor = *liveMon
 		cfg.LiveHTTPAddr = *liveHTTP
+		cfg.ChaosSpec = *chaosSpec
 		art, err := core.Run(cfg, wf)
 		if err != nil {
 			return fmt.Errorf("run %s: %w", jobID, err)
@@ -139,6 +141,13 @@ func cmdRun(args []string) error {
 		if art.Live != nil {
 			fmt.Printf("  live: %d events, %d tasks, %d transfers, %d anomalies\n",
 				art.Live.Events, art.Live.Tasks, art.Live.Transfers, len(art.Live.Anomalies))
+		}
+		if *chaosSpec != "" && !*noCollect {
+			if f, err := perfrecup.RecoveryTimelineView(art); err == nil {
+				if tl := perfrecup.RenderRecoveryTimeline(f); tl != "" {
+					fmt.Printf("  recovery timeline (%d events):\n%s", f.NRows(), tl)
+				}
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,368 @@
+// Package chaos is the deterministic fault-injection subsystem: a chaos plan
+// parsed from a compact spec string schedules worker crashes and restarts at
+// simulated times, Mercury RPC faults (drop / delay / error) through a
+// registry interceptor, and broker append (WAL/disk) failures through the
+// broker's fault hook.
+//
+// Determinism is the design center. Worker kills fire at exact virtual
+// times on the simulation kernel; RPC and append faults are count-based
+// (fault the Nth matching call), so the same seed and spec reproduce the
+// identical failure — and recovery — event sequence on every run.
+//
+// Spec grammar (statements separated by ';', fields by whitespace):
+//
+//	kill worker=N at=DUR [restart=DUR]
+//	rpc [addr=S] [rpc=S] op=drop|delay|error [after=N] [count=N] [delay=DUR]
+//	wal [topic=S] [partition=N] [after=N] [count=N]
+//
+// DUR is a Go duration ("30s", "1.5m"). "kill" crashes worker N at virtual
+// time at, optionally booting a fresh process restart later. "rpc" faults
+// in-process RPCs whose destination address and RPC name match (omitted
+// matchers accept anything): after skips that many matching calls first,
+// count bounds how many calls are faulted (default 1), and op=delay sleeps
+// delay before proceeding. "wal" fails batch appends on matching topic /
+// partition the same way.
+//
+// Example: kill 1 of 8 workers two virtual minutes in, restarting it a
+// minute later, while the warnings topic's first partition rejects 3
+// appends:
+//
+//	kill worker=3 at=2m restart=1m; wal topic=warnings partition=0 after=10 count=3
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"taskprov/internal/mochi/mercury"
+	"taskprov/internal/sim"
+)
+
+// Op is an RPC fault operation.
+type Op string
+
+// RPC fault operations.
+const (
+	OpDrop  Op = "drop"  // fail with mercury.ErrTimeout, as if the peer vanished
+	OpDelay Op = "delay" // sleep Delay, then dispatch normally
+	OpError Op = "error" // fail with a RemoteError, as if the handler errored
+)
+
+// Kill crashes a worker at a virtual time, optionally restarting it.
+type Kill struct {
+	Worker  int
+	At      time.Duration
+	Restart time.Duration // delay after the kill; 0 = never restart
+}
+
+// RPCFault faults in-process RPC dispatch for matching calls.
+type RPCFault struct {
+	Addr  string // exact destination address; "" matches any
+	RPC   string // exact RPC name; "" matches any
+	Op    Op
+	After int           // matching calls to pass through before faulting
+	Count int           // matching calls to fault (default 1)
+	Delay time.Duration // for OpDelay
+}
+
+// WALFault fails broker batch appends for matching partitions.
+type WALFault struct {
+	Topic     string // "" matches any topic
+	Partition int    // -1 matches any partition
+	After     int
+	Count     int
+}
+
+// Plan is a parsed chaos specification.
+type Plan struct {
+	Kills []Kill
+	RPCs  []RPCFault
+	WALs  []WALFault
+
+	// Spec is the original specification string, kept for provenance
+	// metadata so a degraded run records what was injected into it.
+	Spec string
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Kills) == 0 && len(p.RPCs) == 0 && len(p.WALs) == 0)
+}
+
+// Parse parses a chaos spec. An empty or whitespace-only spec yields an
+// empty plan.
+func Parse(spec string) (*Plan, error) {
+	p := &Plan{Spec: strings.TrimSpace(spec)}
+	for _, stmt := range strings.Split(spec, ";") {
+		fields := strings.Fields(stmt)
+		if len(fields) == 0 {
+			continue
+		}
+		kv, err := parseFields(fields[1:])
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %q: %w", strings.TrimSpace(stmt), err)
+		}
+		switch fields[0] {
+		case "kill":
+			k := Kill{Worker: -1}
+			if err := kv.intField("worker", &k.Worker); err != nil {
+				return nil, err
+			}
+			if err := kv.durField("at", &k.At); err != nil {
+				return nil, err
+			}
+			if err := kv.durField("restart", &k.Restart); err != nil {
+				return nil, err
+			}
+			if k.Worker < 0 {
+				return nil, fmt.Errorf("chaos: kill requires worker=N")
+			}
+			if k.At <= 0 {
+				return nil, fmt.Errorf("chaos: kill requires at=DURATION")
+			}
+			p.Kills = append(p.Kills, k)
+		case "rpc":
+			f := RPCFault{Count: 1}
+			f.Addr = kv.take("addr")
+			f.RPC = kv.take("rpc")
+			f.Op = Op(kv.take("op"))
+			if err := kv.intField("after", &f.After); err != nil {
+				return nil, err
+			}
+			if err := kv.intField("count", &f.Count); err != nil {
+				return nil, err
+			}
+			if err := kv.durField("delay", &f.Delay); err != nil {
+				return nil, err
+			}
+			switch f.Op {
+			case OpDrop, OpError:
+			case OpDelay:
+				if f.Delay <= 0 {
+					return nil, fmt.Errorf("chaos: rpc op=delay requires delay=DURATION")
+				}
+			default:
+				return nil, fmt.Errorf("chaos: rpc requires op=drop|delay|error, got %q", f.Op)
+			}
+			if f.Count <= 0 {
+				return nil, fmt.Errorf("chaos: rpc count must be positive")
+			}
+			p.RPCs = append(p.RPCs, f)
+		case "wal":
+			f := WALFault{Partition: -1, Count: 1}
+			f.Topic = kv.take("topic")
+			if err := kv.intField("partition", &f.Partition); err != nil {
+				return nil, err
+			}
+			if err := kv.intField("after", &f.After); err != nil {
+				return nil, err
+			}
+			if err := kv.intField("count", &f.Count); err != nil {
+				return nil, err
+			}
+			if f.Count <= 0 {
+				return nil, fmt.Errorf("chaos: wal count must be positive")
+			}
+			p.WALs = append(p.WALs, f)
+		default:
+			return nil, fmt.Errorf("chaos: unknown directive %q (want kill, rpc, or wal)", fields[0])
+		}
+		if err := kv.unused(); err != nil {
+			return nil, fmt.Errorf("chaos: %s statement: %w", fields[0], err)
+		}
+	}
+	return p, nil
+}
+
+// fieldSet holds a statement's key=value fields during parsing.
+type fieldSet map[string]string
+
+func parseFields(fields []string) (fieldSet, error) {
+	kv := make(fieldSet, len(fields))
+	for _, f := range fields {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("malformed field %q (want key=value)", f)
+		}
+		if _, dup := kv[k]; dup {
+			return nil, fmt.Errorf("duplicate field %q", k)
+		}
+		kv[k] = v
+	}
+	return kv, nil
+}
+
+func (kv fieldSet) take(key string) string {
+	v := kv[key]
+	delete(kv, key)
+	return v
+}
+
+func (kv fieldSet) intField(key string, dst *int) error {
+	v, ok := kv[key]
+	if !ok {
+		return nil
+	}
+	delete(kv, key)
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return fmt.Errorf("chaos: field %s=%q: %w", key, v, err)
+	}
+	*dst = n
+	return nil
+}
+
+func (kv fieldSet) durField(key string, dst *time.Duration) error {
+	v, ok := kv[key]
+	if !ok {
+		return nil
+	}
+	delete(kv, key)
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return fmt.Errorf("chaos: field %s=%q: %w", key, v, err)
+	}
+	*dst = d
+	return nil
+}
+
+func (kv fieldSet) unused() error {
+	if len(kv) == 0 {
+		return nil
+	}
+	var keys []string
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	return fmt.Errorf("unknown field(s) %s", strings.Join(keys, ", "))
+}
+
+// WorkerKiller is the slice of a Dask cluster the controller needs: the
+// ability to crash and restart workers by rank.
+type WorkerKiller interface {
+	KillWorker(rank int)
+	RestartWorker(rank int)
+}
+
+// AppendFaulter is the slice of a Mofka broker the controller needs.
+type AppendFaulter interface {
+	SetAppendFault(func(topic string, partition int) error)
+}
+
+// Controller arms a plan against the systems under test, tracking the
+// count-based fault state.
+type Controller struct {
+	plan *Plan
+
+	mu      sync.Mutex
+	rpcSeen []int
+	rpcUsed []int
+	walSeen []int
+	walUsed []int
+}
+
+// NewController creates a controller for the plan (which may be nil/empty —
+// arming then does nothing).
+func NewController(plan *Plan) *Controller {
+	if plan == nil {
+		plan = &Plan{}
+	}
+	return &Controller{
+		plan:    plan,
+		rpcSeen: make([]int, len(plan.RPCs)),
+		rpcUsed: make([]int, len(plan.RPCs)),
+		walSeen: make([]int, len(plan.WALs)),
+		walUsed: make([]int, len(plan.WALs)),
+	}
+}
+
+// Plan returns the armed plan.
+func (c *Controller) Plan() *Plan { return c.plan }
+
+// ArmWorkerFaults schedules the plan's kills and restarts on the simulation
+// kernel against a cluster with the given worker count. Call before
+// kernel.Run.
+func (c *Controller) ArmWorkerFaults(k *sim.Kernel, cl WorkerKiller, workers int) error {
+	for _, kill := range c.plan.Kills {
+		if kill.Worker >= workers {
+			return fmt.Errorf("chaos: kill worker=%d but cluster has %d workers", kill.Worker, workers)
+		}
+		kk := kill
+		k.At(sim.Time(kk.At), func() { cl.KillWorker(kk.Worker) })
+		if kk.Restart > 0 {
+			k.At(sim.Time(kk.At+kk.Restart), func() { cl.RestartWorker(kk.Worker) })
+		}
+	}
+	return nil
+}
+
+// ArmRegistry installs the plan's RPC faults as the registry's dispatch
+// interceptor. A no-op when the plan has no RPC faults.
+func (c *Controller) ArmRegistry(reg *mercury.Registry) {
+	if len(c.plan.RPCs) == 0 {
+		return
+	}
+	reg.SetInterceptor(func(addr, rpc string, req []byte, next mercury.Handler) ([]byte, error) {
+		for i := range c.plan.RPCs {
+			f := &c.plan.RPCs[i]
+			if f.Addr != "" && f.Addr != addr {
+				continue
+			}
+			if f.RPC != "" && f.RPC != rpc {
+				continue
+			}
+			c.mu.Lock()
+			c.rpcSeen[i]++
+			fire := c.rpcSeen[i] > f.After && c.rpcUsed[i] < f.Count
+			if fire {
+				c.rpcUsed[i]++
+			}
+			c.mu.Unlock()
+			if !fire {
+				continue
+			}
+			switch f.Op {
+			case OpDrop:
+				return nil, fmt.Errorf("%w: chaos dropped %q to %s", mercury.ErrTimeout, rpc, addr)
+			case OpError:
+				return nil, &mercury.RemoteError{Msg: fmt.Sprintf("chaos: injected failure for %q on %s", rpc, addr)}
+			case OpDelay:
+				time.Sleep(f.Delay)
+			}
+		}
+		return next(req)
+	})
+}
+
+// ArmBroker installs the plan's WAL/append faults on the broker. A no-op
+// when the plan has no WAL faults.
+func (c *Controller) ArmBroker(b AppendFaulter) {
+	if len(c.plan.WALs) == 0 {
+		return
+	}
+	b.SetAppendFault(func(topic string, partition int) error {
+		for i := range c.plan.WALs {
+			f := &c.plan.WALs[i]
+			if f.Topic != "" && f.Topic != topic {
+				continue
+			}
+			if f.Partition >= 0 && f.Partition != partition {
+				continue
+			}
+			c.mu.Lock()
+			c.walSeen[i]++
+			fire := c.walSeen[i] > f.After && c.walUsed[i] < f.Count
+			if fire {
+				c.walUsed[i]++
+			}
+			c.mu.Unlock()
+			if fire {
+				return fmt.Errorf("chaos: injected append fault on %s[%d]", topic, partition)
+			}
+		}
+		return nil
+	})
+}

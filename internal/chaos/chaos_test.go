@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"taskprov/internal/mochi/mercury"
+	"taskprov/internal/sim"
+)
+
+func TestParseKill(t *testing.T) {
+	p, err := Parse("kill worker=3 at=2m restart=1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Kill{Worker: 3, At: 2 * time.Minute, Restart: time.Minute}
+	if len(p.Kills) != 1 || p.Kills[0] != want {
+		t.Fatalf("got %+v", p.Kills)
+	}
+}
+
+func TestParseMultiStatement(t *testing.T) {
+	p, err := Parse("kill worker=0 at=10s; rpc rpc=mofka.append op=error after=5 count=2; wal topic=warnings partition=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Kills) != 1 || len(p.RPCs) != 1 || len(p.WALs) != 1 {
+		t.Fatalf("got %+v", p)
+	}
+	if f := p.RPCs[0]; f.RPC != "mofka.append" || f.Op != OpError || f.After != 5 || f.Count != 2 {
+		t.Fatalf("rpc fault %+v", f)
+	}
+	if f := p.WALs[0]; f.Topic != "warnings" || f.Partition != 1 || f.Count != 1 {
+		t.Fatalf("wal fault %+v", f)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, spec := range []string{"", "   ", " ; ; "} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if !p.Empty() {
+			t.Fatalf("%q: expected empty plan", spec)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"boom worker=1 at=2s",         // unknown directive
+		"kill at=2s",                  // missing worker
+		"kill worker=1",               // missing at
+		"kill worker=1 at=2s bogus=x", // unknown field
+		"kill worker=1 at=2s at=3s",   // duplicate field
+		"kill worker=one at=2s",       // malformed int
+		"kill worker=1 at=fast",       // malformed duration
+		"kill worker",                 // not key=value
+		"rpc op=explode",              // unknown op
+		"rpc op=delay",                // delay op without delay
+		"rpc op=drop count=0",         // non-positive count
+		"wal count=-1",                // non-positive count
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestParseRoundTripSpec(t *testing.T) {
+	p, err := Parse("  kill worker=1 at=5s ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spec != "kill worker=1 at=5s" {
+		t.Fatalf("spec %q", p.Spec)
+	}
+}
+
+type fakeCluster struct {
+	kills    []int
+	restarts []int
+}
+
+func (f *fakeCluster) KillWorker(rank int)    { f.kills = append(f.kills, rank) }
+func (f *fakeCluster) RestartWorker(rank int) { f.restarts = append(f.restarts, rank) }
+
+func TestArmWorkerFaults(t *testing.T) {
+	p, err := Parse("kill worker=2 at=5s restart=3s; kill worker=0 at=1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	cl := &fakeCluster{}
+	if err := NewController(p).ArmWorkerFaults(k, cl, 4); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	if len(cl.kills) != 2 || cl.kills[0] != 0 || cl.kills[1] != 2 {
+		t.Fatalf("kills %v", cl.kills)
+	}
+	if len(cl.restarts) != 1 || cl.restarts[0] != 2 {
+		t.Fatalf("restarts %v", cl.restarts)
+	}
+}
+
+func TestArmWorkerFaultsValidatesRank(t *testing.T) {
+	p, _ := Parse("kill worker=8 at=5s")
+	if err := NewController(p).ArmWorkerFaults(sim.NewKernel(1), &fakeCluster{}, 8); err == nil {
+		t.Fatal("expected rank-out-of-range error")
+	}
+}
+
+func TestArmRegistryCountBased(t *testing.T) {
+	p, err := Parse("rpc rpc=echo op=error after=1 count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := mercury.NewRegistry()
+	ep := reg.Listen("svc")
+	ep.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	ep.Register("other", func(req []byte) ([]byte, error) { return req, nil })
+	NewController(p).ArmRegistry(reg)
+
+	call := func(rpc string) error {
+		_, err := reg.Call("svc", rpc, nil)
+		return err
+	}
+	// Call 1 passes (after=1), calls 2 and 3 fault (count=2), call 4 passes.
+	results := []error{call("echo"), call("echo"), call("echo"), call("echo")}
+	for i, wantErr := range []bool{false, true, true, false} {
+		if (results[i] != nil) != wantErr {
+			t.Fatalf("call %d: err=%v want error=%v", i+1, results[i], wantErr)
+		}
+	}
+	var re *mercury.RemoteError
+	if !errors.As(results[1], &re) {
+		t.Fatalf("injected error should be a RemoteError, got %T", results[1])
+	}
+	// Non-matching RPC name is never faulted.
+	if err := call("other"); err != nil {
+		t.Fatalf("other rpc faulted: %v", err)
+	}
+}
+
+func TestArmRegistryDrop(t *testing.T) {
+	p, _ := Parse("rpc op=drop")
+	reg := mercury.NewRegistry()
+	reg.Listen("svc").Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	NewController(p).ArmRegistry(reg)
+	_, err := reg.Call("svc", "echo", nil)
+	if !errors.Is(err, mercury.ErrTimeout) {
+		t.Fatalf("drop should surface as ErrTimeout, got %v", err)
+	}
+	if _, err := reg.Call("svc", "echo", nil); err != nil {
+		t.Fatalf("count=1 exhausted, call should pass: %v", err)
+	}
+}
+
+type fakeBroker struct{ hook func(string, int) error }
+
+func (f *fakeBroker) SetAppendFault(fn func(string, int) error) { f.hook = fn }
+
+func TestArmBroker(t *testing.T) {
+	p, err := Parse("wal topic=warnings partition=0 after=1 count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &fakeBroker{}
+	NewController(p).ArmBroker(b)
+	if b.hook == nil {
+		t.Fatal("hook not installed")
+	}
+	if err := b.hook("warnings", 1); err != nil {
+		t.Fatalf("partition mismatch should pass: %v", err)
+	}
+	if err := b.hook("warnings", 0); err != nil {
+		t.Fatalf("after=1 first matching call should pass: %v", err)
+	}
+	if err := b.hook("warnings", 0); err == nil {
+		t.Fatal("second matching call should fault")
+	}
+	if err := b.hook("warnings", 0); err != nil {
+		t.Fatalf("count exhausted, should pass: %v", err)
+	}
+	if err := b.hook("executions", 0); err != nil {
+		t.Fatalf("topic mismatch should pass: %v", err)
+	}
+}
+
+func TestEmptyPlanArmsNothing(t *testing.T) {
+	c := NewController(nil)
+	reg := mercury.NewRegistry()
+	c.ArmRegistry(reg)
+	b := &fakeBroker{}
+	c.ArmBroker(b)
+	if b.hook != nil {
+		t.Fatal("empty plan should not install a broker hook")
+	}
+}

@@ -105,6 +105,10 @@ type InstrumentationConfig struct {
 	// MofkaDataDir is the durable event-log directory, empty when the run's
 	// provenance stream was in-memory only.
 	MofkaDataDir string `json:"mofka_data_dir,omitempty"`
+	// Chaos is the fault-injection spec the run was executed under (see
+	// internal/chaos), empty for fault-free runs. Recording it makes
+	// degraded runs self-describing post-mortem.
+	Chaos string `json:"chaos,omitempty"`
 }
 
 // EncodeMetadata serializes run metadata as pretty JSON.

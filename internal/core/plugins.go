@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"taskprov/internal/dask"
@@ -22,34 +23,97 @@ type Collector struct {
 
 	// Counters for quick sanity checks and overhead ablations.
 	events map[string]int64
+
+	// clock timestamps degraded-mode warnings with virtual time; nil means
+	// zero timestamps (standalone collectors outside a simulation).
+	clock func() sim.Time
+	// degradedSince tracks, per topic, when its producer entered degraded
+	// mode. The collector runs on the simulation goroutine, so no lock.
+	degradedSince map[string]sim.Time
 }
 
 // NewCollector creates the topics (2 partitions each, as a small Mofka
-// deployment would) and producers on the given broker.
+// deployment would) and producers on the given broker. Producers report
+// degraded episodes (broker unreachable, events buffering) back through the
+// collector, which records them on the warnings topic as
+// producer_degraded events.
 func NewCollector(broker *mofka.Broker, opts mofka.ProducerOptions) (*Collector, error) {
 	c := &Collector{
-		broker:    broker,
-		producers: make(map[string]*mofka.Producer),
-		events:    make(map[string]int64),
+		broker:        broker,
+		producers:     make(map[string]*mofka.Producer),
+		events:        make(map[string]int64),
+		degradedSince: make(map[string]sim.Time),
 	}
 	for _, name := range AllTopics() {
 		t, err := broker.OpenOrCreateTopic(mofka.TopicConfig{Name: name, Partitions: 2})
 		if err != nil {
 			return nil, fmt.Errorf("core: create topic %s: %w", name, err)
 		}
-		c.producers[name] = t.NewProducer(opts)
+		topicOpts := opts
+		topic := name
+		topicOpts.OnDegraded = func(err error) { c.producerDegraded(topic, err) }
+		topicOpts.OnRecovered = func() { c.producerRecovered(topic) }
+		c.producers[name] = t.NewProducer(topicOpts)
 	}
 	return c, nil
+}
+
+// SetClock injects the virtual-time source used to timestamp degraded-mode
+// warnings.
+func (c *Collector) SetClock(clock func() sim.Time) { c.clock = clock }
+
+func (c *Collector) now() sim.Time {
+	if c.clock == nil {
+		return 0
+	}
+	return c.clock()
 }
 
 // Broker returns the broker the collector publishes to.
 func (c *Collector) Broker() *mofka.Broker { return c.broker }
 
-// push publishes one event; failures panic because they indicate a broken
-// in-process pipeline, never a recoverable condition.
+// producerDegraded and producerRecovered are the producer resilience hooks:
+// both episodes land on the warnings topic, so a degraded provenance
+// pipeline documents its own gap. The warnings producer buffers too, so
+// these events survive even when the broker is the thing that failed.
+func (c *Collector) producerDegraded(topic string, err error) {
+	at := c.now()
+	c.degradedSince[topic] = at
+	c.pushWarning(dask.Warning{
+		Kind: dask.WarnProducerDegraded, Worker: "collector/" + topic, At: at,
+		Message: fmt.Sprintf("producer for topic %s degraded (buffering): %v", topic, err),
+	})
+}
+
+func (c *Collector) producerRecovered(topic string) {
+	at := c.now()
+	since, ok := c.degradedSince[topic]
+	if !ok {
+		since = at
+	}
+	delete(c.degradedSince, topic)
+	c.pushWarning(dask.Warning{
+		Kind: dask.WarnProducerDegraded, Worker: "collector/" + topic, At: at,
+		Duration: at - since,
+		Message:  fmt.Sprintf("producer for topic %s recovered after %v", topic, at-since),
+	})
+}
+
+func (c *Collector) pushWarning(w dask.Warning) {
+	c.push(TopicWarnings, WarningEvent(w))
+}
+
+// push publishes one event. Structural failures (invalid event, missing
+// partition, closed broker) panic — they indicate a broken in-process
+// pipeline. Transient append failures do not: the producer keeps the batch
+// buffered and retries, and the degraded-mode hooks document the episode.
 func (c *Collector) push(topic string, m mofka.Metadata) {
 	c.events[topic]++
-	if err := c.producers[topic].Push(m, nil); err != nil {
+	err := c.producers[topic].Push(m, nil)
+	if err == nil {
+		return
+	}
+	if errors.Is(err, mofka.ErrInvalidEvent) || errors.Is(err, mofka.ErrNoPartition) || errors.Is(err, mofka.ErrClosed) {
 		panic(fmt.Sprintf("core: push to %s: %v", topic, err))
 	}
 }

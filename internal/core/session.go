@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"taskprov/internal/chaos"
 	"taskprov/internal/darshan"
 	"taskprov/internal/dask"
 	"taskprov/internal/live"
@@ -54,6 +56,12 @@ type SessionConfig struct {
 
 	// Mofka producer batching for the provenance stream.
 	MofkaBatchSize int
+
+	// ChaosSpec, when non-empty, arms the fault-injection plan parsed from
+	// it (see internal/chaos) before the run starts: worker kills/restarts
+	// at virtual times and broker append faults. The same seed and spec
+	// reproduce the identical failure and recovery event sequence.
+	ChaosSpec string
 
 	// MofkaDataDir, when set, backs the run's broker with the durable
 	// segmented event log rooted there (internal/mofka/wal): every
@@ -171,12 +179,33 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 	var collector *Collector
 	if !cfg.DisableCollection {
 		var err error
-		collector, err = NewCollector(broker, mofka.ProducerOptions{BatchSize: cfg.MofkaBatchSize})
+		// Resilience: a broker hiccup degrades the producers (bounded
+		// buffering + quick in-line retries) instead of failing the run.
+		collector, err = NewCollector(broker, mofka.ProducerOptions{
+			BatchSize:    cfg.MofkaBatchSize,
+			FlushRetries: 2,
+			RetryBackoff: time.Millisecond,
+		})
 		if err != nil {
 			return nil, err
 		}
+		collector.SetClock(k.Now)
 		cluster.AddSchedulerPlugin(collector.SchedulerPlugin())
 		cluster.AddWorkerPlugin(collector.WorkerPlugin())
+	}
+
+	// Arm fault injection before anything starts so kills scheduled at early
+	// virtual times land deterministically.
+	if cfg.ChaosSpec != "" {
+		plan, err := chaos.Parse(cfg.ChaosSpec)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ctl := chaos.NewController(plan)
+		if err := ctl.ArmWorkerFaults(k, cluster, len(cluster.Workers())); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ctl.ArmBroker(broker)
 	}
 
 	// Live monitoring: attach the streaming aggregator to the broker before
@@ -273,6 +302,7 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 			DXTBufferSegments: dxtBuf,
 			MofkaBatchSize:    cfg.MofkaBatchSize,
 			MofkaDataDir:      cfg.MofkaDataDir,
+			Chaos:             cfg.ChaosSpec,
 		},
 		StartSeconds: start.Seconds(),
 		EndSeconds:   end.Seconds(),

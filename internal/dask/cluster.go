@@ -96,6 +96,19 @@ func (c *Cluster) Start() {
 	c.scheduler.start()
 }
 
+// KillWorker crashes worker rank's process immediately: all its state is
+// lost and the scheduler discovers the death through missed heartbeats. The
+// entry point used by fault injection.
+func (c *Cluster) KillWorker(rank int) {
+	c.workers[rank].kill()
+}
+
+// RestartWorker boots a fresh process for a previously killed worker; it
+// reconnects to the scheduler holding no data.
+func (c *Cluster) RestartWorker(rank int) {
+	c.workers[rank].restart()
+}
+
 // control models a small control-plane message between two nodes, invoking
 // handle on arrival.
 func (c *Cluster) control(from, to *platform.Node, handle func()) {

@@ -18,6 +18,17 @@ type Config struct {
 	// (distributed.yaml: worker.heartbeat-interval).
 	HeartbeatInterval sim.Time
 
+	// WorkerTTL: a worker silent for this long is declared dead and evicted
+	// (distributed.yaml: scheduler.worker-ttl). Its processing tasks are
+	// requeued and its lost in-memory keys recomputed. Default
+	// 6x HeartbeatInterval; negative disables liveness tracking.
+	WorkerTTL sim.Time
+
+	// AllowedFailures: a task whose worker dies more than this many times
+	// while it was processing is marked erred instead of being rescheduled
+	// forever (distributed.yaml: scheduler.allowed-failures).
+	AllowedFailures int
+
 	// WorkStealing enables the scheduler's stealing loop
 	// (distributed.yaml: scheduler.work-stealing).
 	WorkStealing bool
@@ -64,6 +75,8 @@ func DefaultConfig() Config {
 		ThreadsPerWorker:          8,
 		SchedulerNode:             0,
 		HeartbeatInterval:         sim.Milliseconds(500),
+		WorkerTTL:                 sim.Seconds(3),
+		AllowedFailures:           3,
 		WorkStealing:              true,
 		StealInterval:             sim.Milliseconds(100),
 		EventLoopMonitorThreshold: sim.Seconds(3),
@@ -88,6 +101,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatInterval <= 0 {
 		c.HeartbeatInterval = d.HeartbeatInterval
+	}
+	if c.WorkerTTL == 0 {
+		c.WorkerTTL = 6 * c.HeartbeatInterval
+	}
+	if c.AllowedFailures <= 0 {
+		c.AllowedFailures = d.AllowedFailures
 	}
 	if c.StealInterval <= 0 {
 		c.StealInterval = d.StealInterval

@@ -86,6 +86,37 @@ const (
 	WarnGC        WarningKind = "gc_collection"
 )
 
+// Failure/recovery warning kinds: every scheduler-side recovery action is
+// emitted on the warnings topic so degraded runs carry their own recovery
+// timeline in the provenance stream.
+const (
+	// WarnWorkerLost: the scheduler declared a worker dead after missed
+	// heartbeats and evicted it from the SSG membership group.
+	WarnWorkerLost WarningKind = "worker_lost"
+	// WarnWorkerRejoined: a previously lost worker reconnected.
+	WarnWorkerRejoined WarningKind = "worker_rejoined"
+	// WarnTaskRescheduled: a processing task was pulled off a dead worker
+	// and requeued.
+	WarnTaskRescheduled WarningKind = "task_rescheduled"
+	// WarnKeyRecomputed: an in-memory result lost its last replica and was
+	// transitioned back to waiting for recomputation (whoHas shrank to
+	// zero).
+	WarnKeyRecomputed WarningKind = "key_recomputed"
+	// WarnProducerDegraded: a Mofka producer ran degraded (buffering and
+	// retrying) while the broker was unreachable, then recovered.
+	WarnProducerDegraded WarningKind = "producer_degraded"
+)
+
+// IsRecovery reports whether the kind is one of the failure/recovery events
+// (as opposed to the paper's runtime-pathology warnings).
+func (k WarningKind) IsRecovery() bool {
+	switch k {
+	case WarnWorkerLost, WarnWorkerRejoined, WarnTaskRescheduled, WarnKeyRecomputed, WarnProducerDegraded:
+		return true
+	}
+	return false
+}
+
 // Warning is one runtime warning occurrence.
 type Warning struct {
 	Kind     WarningKind `json:"kind"`

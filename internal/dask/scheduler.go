@@ -4,7 +4,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sort"
+	"time"
 
+	"taskprov/internal/mochi/ssg"
 	"taskprov/internal/platform"
 	"taskprov/internal/sim"
 )
@@ -31,8 +34,15 @@ type Scheduler struct {
 	// stealing tracks keys with an in-flight steal request.
 	stealing map[TaskKey]bool
 
+	// group is the SSG membership group the scheduler maintains over its
+	// workers: heartbeats feed it, and a liveness sweep declares silent
+	// workers dead, triggering eviction and task recovery.
+	group      *ssg.Group
+	memberRank map[ssg.MemberID]int
+
 	nextPriority int
 	stealCount   int
+	lostCount    int
 	started      bool
 }
 
@@ -64,6 +74,15 @@ type schedTask struct {
 
 	pendingDependents int
 	isOutput          bool
+
+	// suspicious counts how many times a worker died while running this
+	// task; past AllowedFailures the task erres instead of rescheduling
+	// forever (Dask's SuspiciousCount).
+	suspicious int
+	// completedOnce guards graph completion accounting: a recomputed task
+	// that finishes (or erres) again must not decrement the graph's
+	// outstanding count twice.
+	completedOnce bool
 }
 
 type workerHandle struct {
@@ -73,6 +92,12 @@ type workerHandle struct {
 	occupancy  sim.Time
 	processing map[TaskKey]struct{}
 	memory     int64
+
+	// SSG membership: the current incarnation's member ID, valid while
+	// joined. everConnected distinguishes a first connect from a rejoin.
+	ssgID         ssg.MemberID
+	joined        bool
+	everConnected bool
 
 	// In-flight steal accounting, so one tick's batch of moves does not
 	// over-correct the imbalance.
@@ -99,16 +124,26 @@ func (a *durAvg) mean() sim.Time {
 }
 
 func newScheduler(c *Cluster, node *platform.Node) *Scheduler {
-	return &Scheduler{
-		c:         c,
-		node:      node,
-		tasks:     make(map[TaskKey]*schedTask),
-		graphs:    make(map[int]*graphState),
-		prefixDur: make(map[string]*durAvg),
-		stealing:  make(map[TaskKey]bool),
-		rng:       c.kernel.RNG("dask/scheduler"),
+	s := &Scheduler{
+		c:          c,
+		node:       node,
+		tasks:      make(map[TaskKey]*schedTask),
+		graphs:     make(map[int]*graphState),
+		prefixDur:  make(map[string]*durAvg),
+		stealing:   make(map[TaskKey]bool),
+		memberRank: make(map[ssg.MemberID]int),
+		rng:        c.kernel.RNG("dask/scheduler"),
 	}
+	s.group = ssg.NewGroup("dask/workers", ssg.Config{
+		SuspectAfter: time.Duration(c.cfg.WorkerTTL) / 2,
+		DeadAfter:    time.Duration(c.cfg.WorkerTTL),
+	})
+	s.group.Observe(s.onMembership)
+	return s
 }
+
+// ssgNow maps the virtual clock onto the wall-clock type SSG speaks.
+func (s *Scheduler) ssgNow() time.Time { return time.Unix(0, int64(s.c.kernel.Now())) }
 
 func (s *Scheduler) registerWorkers(ws []*Worker) {
 	for _, w := range ws {
@@ -147,10 +182,258 @@ func (s *Scheduler) start() {
 	if s.c.cfg.WorkStealing {
 		s.c.kernel.After(s.c.cfg.StealInterval, s.stealTick)
 	}
+	if s.c.cfg.WorkerTTL > 0 {
+		s.c.kernel.Every(s.c.cfg.HeartbeatInterval, func() {
+			s.group.Sweep(s.ssgNow())
+		})
+	}
 }
 
 func (s *Scheduler) workerConnected(rank int) {
-	s.workers[rank].connected = true
+	wh := s.workers[rank]
+	if wh.connected {
+		// A fresh worker process reconnected before the previous incarnation
+		// was declared dead: its state is gone, so evict the old one first.
+		s.evictWorker(wh, "worker restarted")
+	}
+	rejoin := wh.everConnected
+	if wh.joined {
+		delete(s.memberRank, wh.ssgID)
+		s.group.Leave(wh.ssgID)
+	}
+	wh.ssgID = s.group.Join(wh.w.addr, s.ssgNow())
+	wh.joined = true
+	s.memberRank[wh.ssgID] = rank
+	wh.connected = true
+	wh.everConnected = true
+	if rejoin {
+		s.emitRecovery(WarnWorkerRejoined, wh.w.addr, wh.w.node.Hostname,
+			fmt.Sprintf("worker %s rejoined the cluster", wh.w.addr))
+	}
+	s.drainQueued()
+}
+
+// handleHeartbeat records a worker heartbeat in the membership group,
+// reviving Suspect members.
+func (s *Scheduler) handleHeartbeat(rank int) {
+	wh := s.workers[rank]
+	if !wh.connected || !wh.joined {
+		return
+	}
+	s.group.Heartbeat(wh.ssgID, s.ssgNow())
+}
+
+// onMembership reacts to SSG liveness verdicts: a member declared dead is
+// evicted, with all its tasks and data recovered elsewhere.
+func (s *Scheduler) onMembership(ev ssg.Event) {
+	if ev.Kind != ssg.EventFail {
+		return
+	}
+	rank, ok := s.memberRank[ev.Member.ID]
+	if !ok {
+		return
+	}
+	wh := s.workers[rank]
+	if !wh.connected || !wh.joined || wh.ssgID != ev.Member.ID {
+		return
+	}
+	s.evictWorker(wh, "missed heartbeats")
+}
+
+// emitRecovery fans a failure/recovery warning out to the worker plugins, so
+// it lands on the warnings provenance topic alongside GC and event-loop
+// warnings.
+func (s *Scheduler) emitRecovery(kind WarningKind, worker, hostname, msg string) {
+	w := Warning{
+		Kind: kind, Worker: worker, Hostname: hostname,
+		At: s.c.kernel.Now(), Message: msg,
+	}
+	for _, p := range s.c.workerPlugins {
+		p.WorkerWarning(w)
+	}
+}
+
+// LostWorkers reports how many worker evictions the scheduler performed.
+func (s *Scheduler) LostWorkers() int { return s.lostCount }
+
+// evictWorker removes a dead worker from the cluster's working set: its SSG
+// membership is dropped, its in-memory replicas are forgotten (keys whose
+// last replica lived there are recomputed from their dependencies), and the
+// tasks it was processing are rescheduled — Dask's resilience model.
+func (s *Scheduler) evictWorker(wh *workerHandle, reason string) {
+	if !wh.connected {
+		return
+	}
+	wh.connected = false
+	if wh.joined {
+		delete(s.memberRank, wh.ssgID)
+		s.group.Leave(wh.ssgID)
+		wh.joined = false
+	}
+	wh.occupancy, wh.memory = 0, 0
+	wh.inbound, wh.outbound = 0, 0
+	wh.processing = make(map[TaskKey]struct{})
+	s.lostCount++
+	addr, host := wh.w.addr, wh.w.node.Hostname
+	s.emitRecovery(WarnWorkerLost, addr, host,
+		fmt.Sprintf("worker %s declared dead (%s); evicting", addr, reason))
+
+	// Collect affected tasks and process them in priority order (priorities
+	// follow topological submission order, so lost dependencies are handled
+	// before the tasks that consume them). Never iterate the raw task map:
+	// the recovery event sequence must reproduce exactly per seed.
+	var affected []*schedTask
+	for _, ts := range s.tasks {
+		_, holds := ts.whoHas[wh.rank]
+		if holds || (ts.state == StateProcessing && ts.processingOn == wh.rank) {
+			affected = append(affected, ts)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i].priority < affected[j].priority })
+
+	for _, ts := range affected {
+		if _, holds := ts.whoHas[wh.rank]; holds {
+			delete(ts.whoHas, wh.rank)
+			if len(ts.whoHas) == 0 && ts.state == StateMemory {
+				if s.needed(ts) {
+					s.emitRecovery(WarnKeyRecomputed, addr, host,
+						fmt.Sprintf("key %s lost its last replica; recomputing", ts.spec.Key))
+					s.recomputeKey(ts)
+				} else {
+					s.transition(ts, StateReleased, "lost-data")
+				}
+			}
+			continue
+		}
+		// Processing on the dead worker: requeue, unless this task has now
+		// killed its host too many times to be trusted.
+		ts.suspicious++
+		if ts.suspicious > s.c.cfg.AllowedFailures {
+			s.markErred(ts, fmt.Sprintf("worker died %d times while running it", ts.suspicious))
+			continue
+		}
+		s.emitRecovery(WarnTaskRescheduled, addr, host,
+			fmt.Sprintf("task %s was processing on dead worker; rescheduling", ts.spec.Key))
+		s.rescheduleTask(ts, "worker-lost")
+	}
+	s.drainQueued()
+}
+
+// needed reports whether a task's result must exist: it is a graph output
+// the client holds, or a pending dependent still consumes it.
+func (s *Scheduler) needed(ts *schedTask) bool {
+	return ts.isOutput || ts.pendingDependents > 0
+}
+
+// addDependent registers dep edges idempotently (recovery may re-wire an
+// edge the original graph wiring already recorded).
+func addDependent(dt *schedTask, key TaskKey) {
+	for _, k := range dt.dependents {
+		if k == key {
+			return
+		}
+	}
+	dt.dependents = append(dt.dependents, key)
+}
+
+// recomputeKey transitions a lost in-memory key back to waiting so it is
+// recomputed from its dependencies (whoHas shrank to zero while still
+// needed). Waiting dependents had already checked this key off their
+// waiting sets when it first reached memory, so it must be re-added —
+// otherwise they are assigned the moment their remaining deps finish and
+// fetch a key that exists nowhere.
+func (s *Scheduler) recomputeKey(ts *schedTask) {
+	key := ts.spec.Key
+	for _, dep := range ts.dependents {
+		dt := s.tasks[dep]
+		if dt.state == StateWaiting {
+			dt.waitingOn[key] = struct{}{}
+		}
+	}
+	s.transition(ts, StateReleased, "lost-data")
+	s.reviveReleased(ts)
+}
+
+// reviveReleased re-acquires the dependencies of a released task and returns
+// it to waiting, recursively reviving dependencies that were themselves
+// freed by refcounting. Dependency refcounts are re-taken here and released
+// again when the task re-finishes, keeping the accounting symmetric.
+func (s *Scheduler) reviveReleased(ts *schedTask) {
+	ts.waitingOn = make(map[TaskKey]struct{})
+	for _, d := range ts.spec.Deps {
+		dt := s.tasks[d]
+		dt.pendingDependents++
+		addDependent(dt, ts.spec.Key)
+		if dt.state == StateMemory {
+			continue
+		}
+		ts.waitingOn[d] = struct{}{}
+		if dt.state == StateReleased {
+			s.reviveReleased(dt)
+		}
+	}
+	s.transition(ts, StateWaiting, "recompute")
+	if len(ts.waitingOn) == 0 {
+		s.maybeSchedule(ts)
+	}
+}
+
+// rescheduleTask requeues a task whose assignment died under it. Its
+// dependency refcounts are still held (the task never finished), so only the
+// waiting set is rebuilt against current data locations.
+func (s *Scheduler) rescheduleTask(ts *schedTask, stimulus string) {
+	ts.waitingOn = make(map[TaskKey]struct{})
+	for _, d := range ts.spec.Deps {
+		dt := s.tasks[d]
+		if dt.state == StateMemory {
+			continue
+		}
+		ts.waitingOn[d] = struct{}{}
+		addDependent(dt, ts.spec.Key)
+		if dt.state == StateReleased {
+			s.reviveReleased(dt)
+		}
+	}
+	s.transition(ts, StateWaiting, stimulus)
+	if len(ts.waitingOn) == 0 {
+		s.maybeSchedule(ts)
+	}
+}
+
+// handleMissingData processes a worker's report that a dependency fetch from
+// srcRank failed because the source process died: the dead source is
+// scrubbed from the affected keys' replica sets (recomputing any key that
+// lost its last replica) and the surrendered tasks are rescheduled.
+func (s *Scheduler) handleMissingData(rank, srcRank int, keys []TaskKey) {
+	wh := s.workers[rank]
+	src := s.workers[srcRank]
+	for _, k := range keys {
+		ts, ok := s.tasks[k]
+		if !ok || ts.state != StateProcessing || ts.processingOn != rank {
+			continue
+		}
+		delete(wh.processing, k)
+		wh.occupancy -= s.estimate(ts.spec.Prefix())
+		if wh.occupancy < 0 {
+			wh.occupancy = 0
+		}
+		for _, d := range ts.spec.Deps {
+			dt := s.tasks[d]
+			if _, held := dt.whoHas[srcRank]; !held || src.w.alive {
+				continue
+			}
+			delete(dt.whoHas, srcRank)
+			if len(dt.whoHas) == 0 && dt.state == StateMemory && s.needed(dt) {
+				s.emitRecovery(WarnKeyRecomputed, src.w.addr, src.w.node.Hostname,
+					fmt.Sprintf("key %s lost its last replica; recomputing", dt.spec.Key))
+				s.recomputeKey(dt)
+			}
+		}
+		s.emitRecovery(WarnTaskRescheduled, wh.w.addr, wh.w.node.Hostname,
+			fmt.Sprintf("task %s lost a dependency source mid-fetch; rescheduling", k))
+		s.rescheduleTask(ts, "missing-data")
+	}
+	s.drainQueued()
 }
 
 // ConnectedWorkers reports how many workers completed their handshake.
@@ -437,7 +720,10 @@ func (s *Scheduler) markErred(ts *schedTask, msg string) {
 	if gs.errMsg == "" {
 		gs.errMsg = fmt.Sprintf("task %s erred: %s", ts.spec.Key, msg)
 	}
-	s.finishGraphTask(ts.graphID)
+	if !ts.completedOnce {
+		ts.completedOnce = true
+		s.finishGraphTask(ts.graphID)
+	}
 	for _, dep := range ts.dependents {
 		dt := s.tasks[dep]
 		if dt.state == StateWaiting {
@@ -503,7 +789,10 @@ func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Ti
 	}
 
 	s.drainQueued()
-	s.finishGraphTask(ts.graphID)
+	if !ts.completedOnce {
+		ts.completedOnce = true
+		s.finishGraphTask(ts.graphID)
+	}
 }
 
 func (s *Scheduler) release(ts *schedTask) {
@@ -580,8 +869,14 @@ func (s *Scheduler) stealTick() {
 
 func (s *Scheduler) stealResponse(key TaskKey, victim, thief *workerHandle, ok bool) {
 	delete(s.stealing, key)
-	victim.outbound--
-	thief.inbound--
+	// Eviction zeroes the in-flight counters; a response that straddled the
+	// eviction must not push them negative.
+	if victim.outbound--; victim.outbound < 0 {
+		victim.outbound = 0
+	}
+	if thief.inbound--; thief.inbound < 0 {
+		thief.inbound = 0
+	}
 	if !ok {
 		return
 	}
@@ -594,14 +889,20 @@ func (s *Scheduler) stealResponse(key TaskKey, victim, thief *workerHandle, ok b
 	if victim.occupancy < 0 {
 		victim.occupancy = 0
 	}
+	// The task visibly returns to waiting, so the captured transition chain
+	// stays well-formed.
+	s.transition(ts, StateWaiting, "stolen")
+	if !thief.connected {
+		// The thief died while the steal was in flight: re-plan instead of
+		// assigning into the void.
+		s.maybeSchedule(ts)
+		return
+	}
 	s.stealCount++
 	now := s.c.kernel.Now()
 	for _, p := range s.c.schedPlugins {
 		p.Stolen(StealEvent{Key: key, Victim: victim.w.addr, Thief: thief.w.addr, At: now})
 	}
-	// Reassign: the task visibly returns to waiting and is immediately
-	// re-dispatched, so the captured transition chain stays well-formed.
-	s.transition(ts, StateWaiting, "stolen")
 	s.assign(ts, thief, "stolen")
 }
 

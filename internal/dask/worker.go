@@ -57,6 +57,13 @@ type Worker struct {
 	rng     *sim.RNG
 	started bool
 
+	// Crash/restart state: alive flips false when the worker process is
+	// killed, and incarnation increments so callbacks scheduled by a dead
+	// incarnation (heartbeats, transfer completions, task completions)
+	// recognize themselves as stale and drop out.
+	alive       bool
+	incarnation int
+
 	executedCount int
 	transferCount int
 }
@@ -69,6 +76,7 @@ func newWorker(c *Cluster, rank int, node *platform.Node, tracer posixio.Tracer)
 		data:     make(map[TaskKey]int64),
 		fetching: make(map[TaskKey][]*wTask),
 		peers:    make(map[int]bool),
+		alive:    true,
 		rng:      c.kernel.RNG("dask/worker/" + workerAddr(node.Hostname, rank)),
 	}
 	for t := 0; t < c.cfg.ThreadsPerWorker; t++ {
@@ -115,16 +123,63 @@ func (w *Worker) HasData(key TaskKey) bool {
 	return ok
 }
 
+// Alive reports whether the worker process is up (true unless killed by
+// fault injection and not yet restarted).
+func (w *Worker) Alive() bool { return w.alive }
+
 // start connects to the scheduler and begins heartbeats.
 func (w *Worker) start() {
-	if w.started {
+	if w.started || !w.alive {
 		return
 	}
 	w.started = true
 	w.c.control(w.node, w.c.scheduler.node, func() {
 		w.c.scheduler.workerConnected(w.rank)
 	})
-	w.c.kernel.After(w.c.cfg.HeartbeatInterval, w.heartbeat)
+	w.scheduleHeartbeat()
+}
+
+// kill models a hard worker-process crash: all worker-local state (task
+// queue, thread pool, stored results, in-flight fetches, connections) is
+// gone instantly. The scheduler only finds out through missed heartbeats.
+func (w *Worker) kill() {
+	if !w.alive {
+		return
+	}
+	w.alive = false
+	w.started = false
+	w.incarnation++
+	w.tasks = make(map[TaskKey]*wTask)
+	w.ready = nil
+	w.data = make(map[TaskKey]int64)
+	w.fetching = make(map[TaskKey][]*wTask)
+	w.peers = make(map[int]bool)
+	w.memBytes, w.gcAccum = 0, 0
+	w.gcBusyUntil, w.blockedUntil = 0, 0
+	w.freeThreads = w.freeThreads[:0]
+	for t := 0; t < w.c.cfg.ThreadsPerWorker; t++ {
+		w.freeThreads = append(w.freeThreads, t)
+	}
+}
+
+// restart brings a killed worker back as a fresh process: it reconnects to
+// the scheduler and resumes heartbeats, holding no data.
+func (w *Worker) restart() {
+	if w.alive {
+		return
+	}
+	w.alive = true
+	w.start()
+}
+
+func (w *Worker) scheduleHeartbeat() {
+	inc := w.incarnation
+	w.c.kernel.After(w.c.cfg.HeartbeatInterval, func() {
+		if !w.alive || w.incarnation != inc {
+			return
+		}
+		w.heartbeat()
+	})
 }
 
 func (w *Worker) heartbeat() {
@@ -136,8 +191,8 @@ func (w *Worker) heartbeat() {
 	for _, p := range w.c.workerPlugins {
 		p.Heartbeat(m)
 	}
-	w.c.control(w.node, w.c.scheduler.node, func() {})
-	w.c.kernel.After(w.c.cfg.HeartbeatInterval, w.heartbeat)
+	w.c.control(w.node, w.c.scheduler.node, func() { w.c.scheduler.handleHeartbeat(w.rank) })
+	w.scheduleHeartbeat()
 }
 
 func (w *Worker) transition(wt *wTask, to TaskState, stimulus string) {
@@ -152,6 +207,11 @@ func (w *Worker) transition(wt *wTask, to TaskState, stimulus string) {
 // handleAssign receives a task from the scheduler, fetches missing
 // dependencies, and queues it for execution.
 func (w *Worker) handleAssign(a assignment) {
+	if !w.alive {
+		// Assigned by a scheduler that has not yet noticed the crash; the
+		// message lands on a dead process. Eviction will requeue the task.
+		return
+	}
 	wt := &wTask{spec: a.spec, graphID: a.graphID, priority: a.priority, state: StateReleased}
 	w.tasks[a.spec.Key] = wt
 	w.transition(wt, WStateWaiting, "compute-task")
@@ -184,6 +244,7 @@ func (w *Worker) fetchDep(d depInfo, wt *wTask) {
 	}
 	src := w.c.workers[d.holders[w.rng.Intn(len(d.holders))]]
 	start := w.c.kernel.Now()
+	inc, srcInc := w.incarnation, src.incarnation
 	// First contact with this peer pays connection establishment; later
 	// transfers reuse the connection. This makes small transfers early in
 	// the run disproportionately slow (Fig. 5).
@@ -193,7 +254,23 @@ func (w *Worker) fetchDep(d depInfo, wt *wTask) {
 		setup = w.rng.JitterTime(w.c.cfg.ConnectionSetup, 0.4)
 	}
 	w.c.kernel.After(setup, func() {
+		if !w.alive || w.incarnation != inc {
+			return
+		}
+		if !src.alive || src.incarnation != srcInc || !src.HasData(d.key) {
+			w.abortFetch(d.key, src.rank)
+			return
+		}
 		w.c.plat.Transfer(src.node, w.node, d.size, func(sim.Time) {
+			if !w.alive || w.incarnation != inc {
+				return
+			}
+			if !src.alive || src.incarnation != srcInc {
+				// Source crashed mid-transfer: the stream broke before the
+				// payload fully arrived.
+				w.abortFetch(d.key, src.rank)
+				return
+			}
 			stop := w.c.kernel.Now()
 			w.data[d.key] = d.size
 			w.memBytes += d.size
@@ -209,11 +286,34 @@ func (w *Worker) fetchDep(d depInfo, wt *wTask) {
 			delete(w.fetching, d.key)
 			for _, waiter := range waiters {
 				waiter.missing--
-				if waiter.missing == 0 && !waiter.stolen {
+				if waiter.missing == 0 && w.tasks[waiter.spec.Key] == waiter {
 					w.makeReady(waiter, "deps-arrived")
 				}
 			}
 		})
+	})
+}
+
+// abortFetch gives up on an in-flight dependency fetch whose source worker
+// crashed. The tasks waiting on the dependency cannot run here with the
+// holder snapshot they were assigned, so the worker surrenders them and
+// reports the dead source; the scheduler re-plans them against surviving
+// replicas (or recomputes the lost key).
+func (w *Worker) abortFetch(key TaskKey, srcRank int) {
+	waiters := w.fetching[key]
+	delete(w.fetching, key)
+	var surrendered []TaskKey
+	for _, wt := range waiters {
+		if w.tasks[wt.spec.Key] != wt {
+			continue // already stolen or surrendered via another dep
+		}
+		delete(w.tasks, wt.spec.Key)
+		w.transition(wt, StateReleased, "missing-data")
+		surrendered = append(surrendered, wt.spec.Key)
+	}
+	rank := w.rank
+	w.c.control(w.node, w.c.scheduler.node, func() {
+		w.c.scheduler.handleMissingData(rank, srcRank, surrendered)
 	})
 }
 
@@ -228,7 +328,12 @@ func (w *Worker) makeReady(wt *wTask, stimulus string) {
 func (w *Worker) dispatch() {
 	now := w.c.kernel.Now()
 	if w.gcBusyUntil > now {
-		w.c.kernel.At(w.gcBusyUntil, w.dispatch)
+		inc := w.incarnation
+		w.c.kernel.At(w.gcBusyUntil, func() {
+			if w.alive && w.incarnation == inc {
+				w.dispatch()
+			}
+		})
 		return
 	}
 	for len(w.freeThreads) > 0 && w.ready.Len() > 0 {
@@ -242,6 +347,7 @@ func (w *Worker) dispatch() {
 func (w *Worker) execute(wt *wTask, slot int) {
 	w.transition(wt, WStateExecuting, "thread-available")
 	tid := w.ThreadID(slot)
+	inc := w.incarnation
 	w.c.kernel.Go(func(p *sim.Proc) {
 		start := p.Now()
 		ctx := &TaskContext{w: w, proc: p, tid: tid, spec: wt.spec, outputSize: wt.spec.OutputSize}
@@ -255,6 +361,13 @@ func (w *Worker) execute(wt *wTask, slot int) {
 			ctx.Compute(d)
 		}
 		stop := p.Now()
+
+		if !w.alive || w.incarnation != inc {
+			// The worker process died while the task body was running: the
+			// thread, the result, and the completion report die with it. The
+			// scheduler recovers the task through eviction.
+			return
+		}
 
 		if ctx.failure != "" {
 			// The task body raised: report the error instead of a result
@@ -322,6 +435,9 @@ func (w *Worker) maybeGC(newBytes int64) {
 
 // handleFree releases a stored result (scheduler-driven refcount release).
 func (w *Worker) handleFree(key TaskKey) {
+	if !w.alive {
+		return
+	}
 	if size, ok := w.data[key]; ok {
 		delete(w.data, key)
 		w.memBytes -= size
@@ -336,7 +452,7 @@ func (w *Worker) handleFree(key TaskKey) {
 // still be queued, not executing or done).
 func (w *Worker) handleStealRequest(key TaskKey) bool {
 	wt, ok := w.tasks[key]
-	if !ok {
+	if !ok || !w.alive {
 		return false
 	}
 	switch wt.state {
@@ -366,10 +482,14 @@ func (w *Worker) noteEventLoopBlocked(from, to sim.Time) {
 	if to > w.blockedUntil {
 		w.blockedUntil = to
 	}
+	inc := w.incarnation
 	for t := from + thr; t <= to; t += thr {
 		at := t
 		blockedFor := at - from
 		w.c.kernel.At(at, func() {
+			if !w.alive || w.incarnation != inc {
+				return
+			}
 			warn := Warning{
 				Kind: WarnEventLoop, Worker: w.addr, Hostname: w.node.Hostname,
 				At: at, Duration: blockedFor,

@@ -44,6 +44,11 @@ type AggregatorOptions struct {
 	// counting; GroupStats.Sampled records how many samples back the
 	// quantiles). Default 1<<20.
 	GroupSampleCap int
+	// RecoveryEventCap bounds the retained recovery timeline (worker-lost,
+	// task-rescheduled, key-recomputed, … events). Past the cap new events
+	// are dropped from the timeline but still counted in Warnings.
+	// Default 4096.
+	RecoveryEventCap int
 	// Anomaly configures the online detectors.
 	Anomaly AnomalyConfig
 }
@@ -57,6 +62,9 @@ func (o AggregatorOptions) withDefaults() AggregatorOptions {
 	}
 	if o.GroupSampleCap <= 0 {
 		o.GroupSampleCap = 1 << 20
+	}
+	if o.RecoveryEventCap <= 0 {
+		o.RecoveryEventCap = 4096
 	}
 	o.Anomaly = o.Anomaly.withDefaults()
 	return o
@@ -89,6 +97,15 @@ type WorkerStats struct {
 	TransferInBytes  int64   `json:"transfer_in_bytes"`
 	TransferOutBytes int64   `json:"transfer_out_bytes"`
 	Warnings         int64   `json:"warnings"`
+}
+
+// RecoveryEvent is one entry of the failure/recovery timeline: a warning
+// whose kind is a recovery action (dask.WarningKind.IsRecovery).
+type RecoveryEvent struct {
+	At      float64 `json:"at"` // virtual seconds
+	Kind    string  `json:"kind"`
+	Worker  string  `json:"worker,omitempty"`
+	Message string  `json:"message,omitempty"`
 }
 
 // HostIOStats aggregates Darshan POSIX counters per hostname (Darshan logs
@@ -151,6 +168,12 @@ type Summary struct {
 	// the wall time is known).
 	WarningRates map[string]float64 `json:"warning_rates,omitempty"`
 
+	// Recovery is the failure/recovery timeline, sorted by (At, Kind,
+	// Worker, Message) so it is identical for live and post-mortem replays
+	// regardless of partition consumption order. Capped at
+	// AggregatorOptions.RecoveryEventCap.
+	Recovery []RecoveryEvent `json:"recovery,omitempty"`
+
 	Windows   []WindowSnapshot `json:"windows,omitempty"`
 	Anomalies []Anomaly        `json:"anomalies,omitempty"`
 }
@@ -203,6 +226,8 @@ type Aggregator struct {
 	workers   map[string]*WorkerStats
 	hostIO    map[string]*HostIOStats
 	warnings  map[string]int
+
+	recovery []RecoveryEvent
 
 	windows   *windowRing
 	detect    *detectors
@@ -341,6 +366,11 @@ func (a *Aggregator) IngestEvent(topic string, partition int, m mofka.Metadata) 
 		a.warnings[kind]++
 		a.worker(w.Worker).Warnings++
 		at := w.At.Seconds()
+		if w.Kind.IsRecovery() && len(a.recovery) < a.opts.RecoveryEventCap {
+			a.recovery = append(a.recovery, RecoveryEvent{
+				At: at, Kind: kind, Worker: w.Worker, Message: w.Message,
+			})
+		}
 		a.windows.addWarning(at, kind)
 		raised = a.detect.onWarning(kind, w.Worker, at)
 	case provenance.TopicTaskMeta:
@@ -539,6 +569,23 @@ func (a *Aggregator) Snapshot() Summary {
 		for k, n := range a.warnings {
 			s.WarningRates[k] = float64(n) / a.wall
 		}
+	}
+
+	if len(a.recovery) > 0 {
+		s.Recovery = append([]RecoveryEvent(nil), a.recovery...)
+		sort.Slice(s.Recovery, func(i, j int) bool {
+			ri, rj := s.Recovery[i], s.Recovery[j]
+			if ri.At != rj.At {
+				return ri.At < rj.At
+			}
+			if ri.Kind != rj.Kind {
+				return ri.Kind < rj.Kind
+			}
+			if ri.Worker != rj.Worker {
+				return ri.Worker < rj.Worker
+			}
+			return ri.Message < rj.Message
+		})
 	}
 
 	s.Windows = a.windows.snapshot()

@@ -570,3 +570,49 @@ func TestTailWALRejectsNonDataDir(t *testing.T) {
 		t.Fatal("expected error for a non-data-dir")
 	}
 }
+
+func TestAggregatorRecoveryLane(t *testing.T) {
+	a := NewAggregator(AggregatorOptions{})
+	warn := func(kind dask.WarningKind, at sim.Time, worker, msg string) {
+		a.IngestEvent(provenance.TopicWarnings, 0, provenance.WarningEvent(dask.Warning{
+			Kind: kind, Worker: worker, At: at, Message: msg,
+		}))
+	}
+	// Out-of-order ingest, plus a non-recovery warning that must stay out of
+	// the lane.
+	warn(dask.WarnTaskRescheduled, sim.Seconds(12), "tcp://n1:40001", "mid-03")
+	warn(dask.WarnGC, sim.Seconds(5), "tcp://n0:40000", "")
+	warn(dask.WarnWorkerLost, sim.Seconds(10), "tcp://n1:40001", "missed heartbeats")
+	warn(dask.WarnWorkerRejoined, sim.Seconds(30), "tcp://n1:40001", "")
+
+	s := a.Snapshot()
+	if len(s.Recovery) != 3 {
+		t.Fatalf("recovery lane has %d events, want 3: %+v", len(s.Recovery), s.Recovery)
+	}
+	wantKinds := []string{"worker_lost", "task_rescheduled", "worker_rejoined"}
+	for i, ev := range s.Recovery {
+		if ev.Kind != wantKinds[i] {
+			t.Fatalf("recovery[%d] = %+v, want kind %s (sorted by time)", i, ev, wantKinds[i])
+		}
+	}
+	if s.Recovery[0].At != 10 || s.Recovery[0].Worker != "tcp://n1:40001" {
+		t.Fatalf("recovery[0] = %+v", s.Recovery[0])
+	}
+}
+
+func TestAggregatorRecoveryLaneCapped(t *testing.T) {
+	a := NewAggregator(AggregatorOptions{RecoveryEventCap: 2})
+	for i := 0; i < 5; i++ {
+		a.IngestEvent(provenance.TopicWarnings, 0, provenance.WarningEvent(dask.Warning{
+			Kind: dask.WarnTaskRescheduled, At: sim.Seconds(float64(i)),
+		}))
+	}
+	s := a.Snapshot()
+	if len(s.Recovery) != 2 {
+		t.Fatalf("capped lane has %d events, want 2", len(s.Recovery))
+	}
+	// The total warning count still reflects every event.
+	if s.Warnings["task_rescheduled"] != 5 {
+		t.Fatalf("warning histogram = %v", s.Warnings)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Handler processes one RPC. It receives the request payload and returns the
@@ -25,6 +26,12 @@ var ErrNoEndpoint = errors.New("mercury: no such endpoint")
 
 // ErrNoRPC is returned when calling an RPC name the endpoint does not expose.
 var ErrNoRPC = errors.New("mercury: no such rpc")
+
+// ErrTimeout is returned when a call exceeds its deadline: the peer is
+// unreachable or wedged, as opposed to a handler returning an error
+// (RemoteError). Callers use the distinction to decide between retrying
+// elsewhere and surfacing the handler failure.
+var ErrTimeout = errors.New("mercury: call timed out")
 
 // RemoteError wraps an error string produced by a remote handler.
 type RemoteError struct{ Msg string }
@@ -64,10 +71,17 @@ func (e *Endpoint) dispatch(name string, req []byte) ([]byte, error) {
 	return h(req)
 }
 
+// Interceptor is middleware around in-process RPC dispatch: it receives the
+// destination address, the RPC name, the request, and a next function that
+// performs the real dispatch. Fault injection installs interceptors to drop,
+// delay, or fail calls without the endpoints' knowledge.
+type Interceptor func(addr, rpc string, req []byte, next Handler) ([]byte, error)
+
 // Registry resolves in-process addresses to endpoints.
 type Registry struct {
-	mu        sync.RWMutex
-	endpoints map[string]*Endpoint
+	mu          sync.RWMutex
+	endpoints   map[string]*Endpoint
+	interceptor Interceptor
 }
 
 // NewRegistry creates an empty in-process address space.
@@ -93,15 +107,30 @@ func (r *Registry) Close(addr string) {
 	r.mu.Unlock()
 }
 
+// SetInterceptor installs (or, with nil, removes) the registry's dispatch
+// middleware. There is at most one; chains compose inside the interceptor.
+func (r *Registry) SetInterceptor(i Interceptor) {
+	r.mu.Lock()
+	r.interceptor = i
+	r.mu.Unlock()
+}
+
 // Call performs an in-process RPC to addr.
 func (r *Registry) Call(addr, rpc string, req []byte) ([]byte, error) {
 	r.mu.RLock()
 	e := r.endpoints[addr]
+	icpt := r.interceptor
 	r.mu.RUnlock()
-	if e == nil {
-		return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, addr)
+	next := func(req []byte) ([]byte, error) {
+		if e == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNoEndpoint, addr)
+		}
+		return e.dispatch(rpc, req)
 	}
-	return e.dispatch(rpc, req)
+	if icpt != nil {
+		return icpt(addr, rpc, req, next)
+	}
+	return next(req)
 }
 
 // Addrs lists the registered endpoint addresses.
@@ -234,12 +263,19 @@ func (s *Server) Close() error {
 	return err
 }
 
+// DefaultCallTimeout bounds each Call when no explicit timeout was set. A
+// dead peer must surface as ErrTimeout rather than blocking the caller
+// forever.
+const DefaultCallTimeout = 30 * time.Second
+
 // Client is a TCP RPC client with a single underlying connection. Calls are
 // serialized; it is safe for concurrent use.
 type Client struct {
-	addr string
-	mu   sync.Mutex
-	conn net.Conn
+	addr    string
+	mu      sync.Mutex
+	conn    net.Conn
+	closed  bool
+	timeout time.Duration
 }
 
 // Dial connects to a TCP mercury server.
@@ -248,16 +284,58 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{addr: addr, conn: conn}, nil
+	return &Client{addr: addr, conn: conn, timeout: DefaultCallTimeout}, nil
 }
 
-// Call performs one RPC over the client's connection.
+// SetTimeout sets the per-call deadline. Zero or negative restores the
+// default; there is deliberately no way to disable the deadline entirely.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	if d <= 0 {
+		d = DefaultCallTimeout
+	}
+	c.timeout = d
+	c.mu.Unlock()
+}
+
+// Call performs one RPC over the client's connection, bounded by the
+// per-call timeout. A deadline expiry returns ErrTimeout (wrapped) and tears
+// down the connection — the request/response stream is mid-frame and cannot
+// be reused — so the next Call redials.
 func (c *Client) Call(rpc string, req []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return nil, errors.New("mercury: client closed")
 	}
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, err
+		}
+		c.conn = conn
+	}
+	if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		return nil, err
+	}
+	resp, err := c.doCall(rpc, req)
+	if err != nil {
+		var rerr *RemoteError
+		if !errors.As(err, &rerr) {
+			// Transport failure: the connection state is unknown, drop it so
+			// the next call starts clean.
+			c.conn.Close()
+			c.conn = nil
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				return nil, fmt.Errorf("%w: %s %q after %v", ErrTimeout, c.addr, rpc, c.timeout)
+			}
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *Client) doCall(rpc string, req []byte) ([]byte, error) {
 	if err := writeFrame(c.conn, []byte(rpc)); err != nil {
 		return nil, err
 	}
@@ -282,6 +360,7 @@ func (c *Client) Call(rpc string, req []byte) ([]byte, error) {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestRegistryCall(t *testing.T) {
@@ -253,5 +254,62 @@ func TestReListenReplacesEndpoint(t *testing.T) {
 	resp, err := reg.Call("local://svc", "who", nil)
 	if err != nil || string(resp) != "b" {
 		t.Fatalf("resp = %q, %v (restart did not replace endpoint)", resp, err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	// A handler that wedges long enough for the client deadline to fire.
+	release := make(chan struct{})
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("wedge", func(req []byte) ([]byte, error) {
+		<-release
+		return req, nil
+	})
+	ep.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(release)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(50 * time.Millisecond)
+	_, err = cli.Call("wedge", []byte("x"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The timed-out connection is discarded; the next call redials and works.
+	cli.SetTimeout(5 * time.Second)
+	resp, err := cli.Call("echo", []byte("y"))
+	if err != nil || string(resp) != "y" {
+		t.Fatalf("post-timeout call = %q, %v", resp, err)
+	}
+}
+
+func TestTimeoutDistinctFromRemoteError(t *testing.T) {
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("fail", func(req []byte) ([]byte, error) { return nil, errors.New("handler says no") })
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	cli.SetTimeout(time.Second)
+	_, err = cli.Call("fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatal("a handler error must not be classified as a timeout")
 	}
 }

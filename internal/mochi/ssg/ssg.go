@@ -199,6 +199,9 @@ func (g *Group) Sweep(now time.Time) int {
 	}
 	obs := append([]Observer(nil), g.observers...)
 	g.mu.Unlock()
+	// Map iteration order is random; notify in member-ID order so sweeps are
+	// deterministic (simulation replays depend on a stable event sequence).
+	sort.Slice(events, func(i, j int) bool { return events[i].Member.ID < events[j].Member.ID })
 	for _, ev := range events {
 		g.notify(obs, ev)
 	}

@@ -37,9 +37,30 @@ type Broker struct {
 	walOpts  wal.Options
 	cursors  *wal.CursorStore
 
-	mu     sync.RWMutex
-	topics map[string]*Topic
-	closed bool
+	mu          sync.RWMutex
+	topics      map[string]*Topic
+	closed      bool
+	appendFault func(topic string, partition int) error
+}
+
+// SetAppendFault installs (or, with nil, removes) a fault hook consulted at
+// the top of every batch append: a non-nil return fails the append before
+// anything is persisted. Fault injection uses it to model disk-full and
+// WAL-write errors; producers see the error and enter degraded buffering.
+func (b *Broker) SetAppendFault(f func(topic string, partition int) error) {
+	b.mu.Lock()
+	b.appendFault = f
+	b.mu.Unlock()
+}
+
+func (b *Broker) injectAppendFault(topic string, partition int) error {
+	b.mu.RLock()
+	f := b.appendFault
+	b.mu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(topic, partition)
 }
 
 // NewBroker builds a broker on the deployment's "metadata" Yokan database
@@ -300,6 +321,9 @@ func (p *Partition) appendBatch(metas [][]byte, datas [][]byte) error {
 	}
 	if len(metas) == 0 {
 		return nil
+	}
+	if err := p.topic.broker.injectAppendFault(p.topic.cfg.Name, p.index); err != nil {
+		return err
 	}
 	var total int64
 	for _, d := range datas {

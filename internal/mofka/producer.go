@@ -22,6 +22,27 @@ type ProducerOptions struct {
 	// Partitioner picks the partition for an event. The default cycles
 	// round-robin, matching Mofka's default.
 	Partitioner func(metadata []byte, partitions int) int
+
+	// FlushRetries is how many times a failing batch append is retried
+	// in-line (with exponential backoff starting at RetryBackoff) before the
+	// producer gives up for now, keeps the batch buffered, and reports
+	// degraded mode. Default 3.
+	FlushRetries int
+	// RetryBackoff is the initial backoff between in-line retries,
+	// doubling each attempt. Default 5ms.
+	RetryBackoff time.Duration
+	// MaxPendingBatches bounds the per-partition backlog of sealed but
+	// unshipped batches accumulated while the broker is unreachable. Beyond
+	// the bound the oldest batches are dropped (counted by Stats), trading
+	// provenance completeness for bounded memory — degraded, not wedged.
+	// Default 64.
+	MaxPendingBatches int
+	// OnDegraded fires once when the producer starts buffering because
+	// appends fail persistently; OnRecovered fires once when the backlog
+	// later drains completely. Both are invoked without internal locks held,
+	// so callbacks may push to other topics.
+	OnDegraded  func(err error)
+	OnRecovered func()
 }
 
 func (o *ProducerOptions) setDefaults() {
@@ -31,6 +52,15 @@ func (o *ProducerOptions) setDefaults() {
 	if o.MaxBatchBytes <= 0 {
 		o.MaxBatchBytes = 4 << 20
 	}
+	if o.FlushRetries <= 0 {
+		o.FlushRetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	if o.MaxPendingBatches <= 0 {
+		o.MaxPendingBatches = 64
+	}
 }
 
 // Producer pushes events into a topic with batching. Safe for concurrent
@@ -39,12 +69,19 @@ type Producer struct {
 	topic *Topic
 	opts  ProducerOptions
 
-	mu      sync.Mutex
-	pending []pendingBatch
-	rr      int
-	closed  bool
-	pushed  uint64
-	flushes uint64
+	mu       sync.Mutex
+	open     []pendingBatch   // per-partition batch accepting new events
+	queues   [][]pendingBatch // per-partition FIFO of sealed, unshipped batches
+	rr       int
+	closed   bool
+	degraded bool
+	pushed   uint64
+	flushes  uint64
+	dropped  uint64
+
+	// shipMu serializes shipping so a partition's batches land in seal
+	// order even under concurrent pushers.
+	shipMu sync.Mutex
 
 	stopFlusher chan struct{}
 	flusherDone chan struct{}
@@ -60,9 +97,10 @@ type pendingBatch struct {
 func (t *Topic) NewProducer(opts ProducerOptions) *Producer {
 	opts.setDefaults()
 	p := &Producer{
-		topic:   t,
-		opts:    opts,
-		pending: make([]pendingBatch, len(t.partitions)),
+		topic:  t,
+		opts:   opts,
+		open:   make([]pendingBatch, len(t.partitions)),
+		queues: make([][]pendingBatch, len(t.partitions)),
 	}
 	if opts.FlushInterval > 0 {
 		p.stopFlusher = make(chan struct{})
@@ -116,51 +154,129 @@ func (p *Producer) PushRaw(metadata, data []byte) error {
 		idx = p.rr
 		p.rr = (p.rr + 1) % len(p.topic.partitions)
 	}
-	b := &p.pending[idx]
+	b := &p.open[idx]
 	b.metas = append(b.metas, append([]byte(nil), metadata...))
 	b.datas = append(b.datas, append([]byte(nil), data...))
 	b.bytes += int64(len(data))
 	p.pushed++
 	needFlush := len(b.metas) >= p.opts.BatchSize || b.bytes >= p.opts.MaxBatchBytes
-	var metas, datas [][]byte
 	if needFlush {
-		metas, datas = b.metas, b.datas
-		p.pending[idx] = pendingBatch{}
-		p.flushes++
+		p.sealLocked(idx)
 	}
 	p.mu.Unlock()
 	if needFlush {
-		return p.topic.partitions[idx].appendBatch(metas, datas)
+		return p.ship()
 	}
 	return nil
 }
 
-// Flush ships every pending batch.
-func (p *Producer) Flush() error {
-	p.mu.Lock()
-	type job struct {
-		idx          int
-		metas, datas [][]byte
+// sealLocked moves partition idx's open batch onto its shipping queue.
+// Callers hold p.mu.
+func (p *Producer) sealLocked(idx int) {
+	if len(p.open[idx].metas) == 0 {
+		return
 	}
-	var jobs []job
-	for i := range p.pending {
-		if len(p.pending[i].metas) > 0 {
-			jobs = append(jobs, job{i, p.pending[i].metas, p.pending[i].datas})
-			p.pending[i] = pendingBatch{}
-			p.flushes++
+	p.queues[idx] = append(p.queues[idx], p.open[idx])
+	p.open[idx] = pendingBatch{}
+	p.flushes++
+}
+
+// ship drains every partition's sealed-batch queue, retrying failures with
+// backoff. Batches that still cannot be appended stay queued (bounded by
+// MaxPendingBatches) for the next flush — a broker outage degrades the
+// producer instead of losing whole batches. Returns the first append error.
+func (p *Producer) ship() error {
+	p.shipMu.Lock()
+	var firstErr error
+	for idx := range p.topic.partitions {
+		if err := p.drainPartition(idx); err != nil && firstErr == nil {
+			firstErr = err
 		}
+	}
+	p.mu.Lock()
+	backlog := 0
+	for i := range p.queues {
+		backlog += len(p.queues[i])
+	}
+	notifyDegraded := firstErr != nil && !p.degraded
+	notifyRecovered := firstErr == nil && backlog == 0 && p.degraded
+	if notifyDegraded {
+		p.degraded = true
+	}
+	if notifyRecovered {
+		p.degraded = false
 	}
 	p.mu.Unlock()
-	for _, j := range jobs {
-		if err := p.topic.partitions[j.idx].appendBatch(j.metas, j.datas); err != nil {
+	p.shipMu.Unlock()
+	if notifyDegraded && p.opts.OnDegraded != nil {
+		p.opts.OnDegraded(firstErr)
+	}
+	if notifyRecovered && p.opts.OnRecovered != nil {
+		p.opts.OnRecovered()
+	}
+	return firstErr
+}
+
+func (p *Producer) drainPartition(idx int) error {
+	for {
+		p.mu.Lock()
+		if len(p.queues[idx]) == 0 {
+			p.mu.Unlock()
+			return nil
+		}
+		b := p.queues[idx][0]
+		p.mu.Unlock()
+		if err := p.appendWithRetry(idx, b); err != nil {
+			p.enforceBound(idx)
 			return err
 		}
+		p.mu.Lock()
+		p.queues[idx] = p.queues[idx][1:]
+		p.mu.Unlock()
 	}
-	return nil
+}
+
+func (p *Producer) appendWithRetry(idx int, b pendingBatch) error {
+	backoff := p.opts.RetryBackoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = p.topic.partitions[idx].appendBatch(b.metas, b.datas)
+		if err == nil || attempt >= p.opts.FlushRetries {
+			return err
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// enforceBound drops partition idx's oldest queued batches past
+// MaxPendingBatches, counting the dropped events.
+func (p *Producer) enforceBound(idx int) {
+	p.mu.Lock()
+	over := len(p.queues[idx]) - p.opts.MaxPendingBatches
+	for i := 0; i < over; i++ {
+		p.dropped += uint64(len(p.queues[idx][i].metas))
+	}
+	if over > 0 {
+		p.queues[idx] = append([]pendingBatch(nil), p.queues[idx][over:]...)
+	}
+	p.mu.Unlock()
+}
+
+// Flush seals and ships every pending batch. On error the unshipped batches
+// remain queued for the next attempt; the first append error is returned.
+func (p *Producer) Flush() error {
+	p.mu.Lock()
+	for i := range p.open {
+		p.sealLocked(i)
+	}
+	p.mu.Unlock()
+	return p.ship()
 }
 
 // Close flushes pending events and stops the background flusher. Further
-// pushes fail with ErrClosed.
+// pushes fail with ErrClosed. If the final flush fails, its first error is
+// returned and any still-unshipped batches are abandoned with the producer.
 func (p *Producer) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -176,9 +292,37 @@ func (p *Producer) Close() error {
 	return p.Flush()
 }
 
-// Stats reports events pushed and batches flushed, for overhead ablations.
+// Degraded reports whether the producer is currently buffering because
+// appends fail.
+func (p *Producer) Degraded() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.degraded
+}
+
+// Backlog reports the number of sealed batches still awaiting shipment.
+func (p *Producer) Backlog() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.queues {
+		n += len(p.queues[i])
+	}
+	return n
+}
+
+// Stats reports events pushed, batches flushed, and events dropped under
+// backlog pressure, for overhead ablations.
 func (p *Producer) Stats() (pushed, flushes uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.pushed, p.flushes
+}
+
+// Dropped reports events discarded because the degraded-mode backlog
+// exceeded MaxPendingBatches.
+func (p *Producer) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
 }

@@ -1,0 +1,96 @@
+package perfrecup
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"taskprov/internal/core"
+	"taskprov/internal/dask"
+	"taskprov/internal/sim"
+)
+
+// crashyWorkflow is a two-layer cross-dependent graph long enough for a 6s
+// worker kill to land mid-run.
+type crashyWorkflow struct{ width int }
+
+func (c *crashyWorkflow) Name() string        { return "crashy" }
+func (c *crashyWorkflow) Stage(env *core.Env) {}
+func (c *crashyWorkflow) Run(p *sim.Proc, cl *dask.Client, env *core.Env) {
+	g := dask.NewGraph(1)
+	var mids []dask.TaskKey
+	for i := 0; i < c.width; i++ {
+		g.Add(&dask.TaskSpec{
+			Key:         dask.TaskKey(fmt.Sprintf("src-%02d", i)),
+			EstDuration: sim.Seconds(1), OutputSize: 1 << 20,
+		})
+	}
+	for i := 0; i < c.width; i++ {
+		k := dask.TaskKey(fmt.Sprintf("mid-%02d", i))
+		mids = append(mids, k)
+		g.Add(&dask.TaskSpec{
+			Key: k,
+			Deps: []dask.TaskKey{
+				dask.TaskKey(fmt.Sprintf("src-%02d", i)),
+				dask.TaskKey(fmt.Sprintf("src-%02d", (i+1)%c.width)),
+			},
+			EstDuration: sim.Milliseconds(1500), OutputSize: 1 << 18,
+		})
+	}
+	g.Add(&dask.TaskSpec{Key: "sink-00", Deps: mids, EstDuration: sim.Milliseconds(100), OutputSize: 256})
+	cl.SubmitAndWait(p, g)
+}
+
+func TestRecoveryTimelineView(t *testing.T) {
+	cfg := core.DefaultSessionConfig("job-chaos", 17)
+	cfg.Platform.NodeSpeedCV = 0
+	cfg.PFS.InterferenceLoad = 0
+	cfg.Dask.WorkersPerNode = 2
+	cfg.Dask.ThreadsPerWorker = 2
+	cfg.ChaosSpec = "kill worker=1 at=6s restart=4s"
+	art, err := core.Run(cfg, &crashyWorkflow{width: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := RecoveryTimelineView(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NRows() == 0 {
+		t.Fatal("no recovery events in timeline for a chaos run")
+	}
+	kinds := make(map[string]bool)
+	at := f.Col("at")
+	for i := 0; i < f.NRows(); i++ {
+		kinds[f.Col("kind").Str(i)] = true
+		if i > 0 && at.Float(i) < at.Float(i-1) {
+			t.Fatalf("timeline not sorted by time at row %d", i)
+		}
+	}
+	for _, want := range []string{"worker_lost", "task_rescheduled", "worker_rejoined"} {
+		if !kinds[want] {
+			t.Errorf("timeline missing %s events (got %v)", want, kinds)
+		}
+	}
+	out := RenderRecoveryTimeline(f)
+	if !strings.Contains(out, "worker_lost") {
+		t.Fatalf("rendered timeline missing worker_lost:\n%s", out)
+	}
+}
+
+// TestRecoveryTimelineEmptyWithoutChaos: a fault-free run yields an empty
+// (but well-formed) timeline.
+func TestRecoveryTimelineEmptyWithoutChaos(t *testing.T) {
+	art := miniRun(t)
+	f, err := RecoveryTimelineView(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NRows() != 0 {
+		t.Fatalf("fault-free run produced %d recovery events", f.NRows())
+	}
+	if out := RenderRecoveryTimeline(f); strings.TrimSpace(out) != "" {
+		t.Fatalf("rendered empty timeline not empty: %q", out)
+	}
+}

@@ -108,6 +108,31 @@ func (k *Kernel) After(d Time, fn func()) *Event {
 // Stop makes Run return after the currently firing event completes.
 func (k *Kernel) Stop() { k.stopped = true }
 
+// Every schedules fn to fire every d of virtual time, starting d from now,
+// until the returned stop function is called. Periodic loops keep the event
+// heap non-empty, so programs using Every must end their runs with Stop (as
+// the heartbeat and stealing loops already require).
+func (k *Kernel) Every(d Time, fn func()) (stop func()) {
+	if d <= 0 {
+		panic(fmt.Sprintf("sim: Every with non-positive period %v", d))
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		k.After(d, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}
+
 // Run fires events in timestamp order until no events remain or Stop is
 // called. It returns the final virtual time.
 func (k *Kernel) Run() Time {

@@ -172,3 +172,47 @@ func TestKernelTimeMonotonicProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestKernelEvery(t *testing.T) {
+	k := NewKernel(1)
+	var fired []Time
+	var stop func()
+	stop = k.Every(Seconds(1), func() {
+		fired = append(fired, k.Now())
+		if len(fired) == 3 {
+			stop()
+		}
+	})
+	k.At(Seconds(10), k.Stop)
+	k.Run()
+	want := []Time{Seconds(1), Seconds(2), Seconds(3)}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d times (%v), want %d", len(fired), fired, len(want))
+	}
+	for i, ts := range want {
+		if fired[i] != ts {
+			t.Fatalf("firing %d at %v, want %v", i, fired[i], ts)
+		}
+	}
+}
+
+func TestKernelEveryStopBetweenFirings(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	stop := k.Every(Seconds(1), func() { count++ })
+	k.At(Milliseconds(2500), func() { stop() })
+	k.At(Seconds(10), k.Stop)
+	k.Run()
+	if count != 2 {
+		t.Fatalf("fired %d times after stop at 2.5s, want 2", count)
+	}
+}
+
+func TestKernelEveryNonPositivePeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewKernel(1).Every(0, func() {})
+}

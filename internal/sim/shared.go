@@ -11,11 +11,14 @@ import (
 // NICs and parallel-file-system object storage targets, where N concurrent
 // transfers each see roughly 1/N of the device throughput.
 type SharedServer struct {
-	k          *Kernel
-	name       string
-	capacity   float64 // units per second (e.g. bytes/s)
-	perJobCap  float64 // max units per second a single job may receive; 0 = no cap
-	jobs       map[*SharedJob]struct{}
+	k         *Kernel
+	name      string
+	capacity  float64 // units per second (e.g. bytes/s)
+	perJobCap float64 // max units per second a single job may receive; 0 = no cap
+	// jobs is kept in submission order: completion callbacks for jobs that
+	// finish at the same instant must fire in a reproducible order, so the
+	// server never iterates a map to find them.
+	jobs       []*SharedJob
 	lastUpdate Time
 	completion *Event
 	busyUnits  float64 // total units served, for utilization accounting
@@ -36,10 +39,7 @@ func NewSharedServer(k *Kernel, name string, capacity, perJobCap float64) *Share
 	if capacity <= 0 {
 		panic(fmt.Sprintf("sim: SharedServer %q capacity must be positive", name))
 	}
-	return &SharedServer{
-		k: k, name: name, capacity: capacity, perJobCap: perJobCap,
-		jobs: make(map[*SharedJob]struct{}),
-	}
+	return &SharedServer{k: k, name: name, capacity: capacity, perJobCap: perJobCap}
 }
 
 // Name returns the server's diagnostic name.
@@ -72,7 +72,7 @@ func (s *SharedServer) advance() {
 	dt := (now - s.lastUpdate).Seconds()
 	if dt > 0 {
 		r := s.rate()
-		for j := range s.jobs {
+		for _, j := range s.jobs {
 			served := r * dt
 			if served > j.remaining {
 				served = j.remaining
@@ -99,7 +99,7 @@ func (s *SharedServer) reschedule() {
 	}
 	r := s.rate()
 	minRemaining := -1.0
-	for j := range s.jobs {
+	for _, j := range s.jobs {
 		if minRemaining < 0 || j.remaining < minRemaining {
 			minRemaining = j.remaining
 		}
@@ -119,14 +119,18 @@ func (s *SharedServer) complete() {
 	s.advance()
 	eps := s.rate()*2e-9 + 1e-9
 	var finished []*SharedJob
-	for j := range s.jobs {
+	live := s.jobs[:0]
+	for _, j := range s.jobs {
 		if j.remaining <= eps {
 			finished = append(finished, j)
+		} else {
+			live = append(live, j)
 		}
 	}
-	for _, j := range finished {
-		delete(s.jobs, j)
+	for i := len(live); i < len(s.jobs); i++ {
+		s.jobs[i] = nil
 	}
+	s.jobs = live
 	s.reschedule()
 	// Callbacks run after internal state is consistent so they may submit
 	// new jobs to this same server.
@@ -152,7 +156,7 @@ func (s *SharedServer) Submit(units float64, done func()) *SharedJob {
 		return j
 	}
 	s.advance()
-	s.jobs[j] = struct{}{}
+	s.jobs = append(s.jobs, j)
 	s.reschedule()
 	return j
 }

@@ -181,3 +181,30 @@ func TestSharedServerNoZeroDelaySpinOnResidue(t *testing.T) {
 		t.Fatal("no time passed")
 	}
 }
+
+// TestSharedServerSameInstantCompletionOrder: jobs finishing at the same
+// instant must run their callbacks in submission order. The server once
+// tracked jobs in a map, which made this ordering depend on allocator
+// addresses and leaked nondeterminism into every simulation above it.
+func TestSharedServerSameInstantCompletionOrder(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		k := NewKernel(1)
+		s := NewSharedServer(k, "nic", 100, 0)
+		var order []int
+		k.After(0, func() {
+			for i := 0; i < 8; i++ {
+				i := i
+				s.Submit(50, func() { order = append(order, i) })
+			}
+		})
+		k.Run()
+		if len(order) != 8 {
+			t.Fatalf("trial %d: %d completions, want 8", trial, len(order))
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("trial %d: completion order %v, want submission order", trial, order)
+			}
+		}
+	}
+}
