@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench chaos verify
+.PHONY: build vet test race bench bench-cluster chaos cluster verify
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Cluster replication overhead, recorded as JSON for tracking across
+# changes (BENCH_cluster.json is checked in; regenerate after perf work).
+bench-cluster:
+	$(GO) test -run '^$$' -bench 'PushBatch' -benchmem ./internal/mofka/cluster/ \
+		| $(GO) run ./tools/benchjson > BENCH_cluster.json
+	cat BENCH_cluster.json
+
 # Seeded, deterministic fault-injection and recovery suites, race-enabled:
 # the chaos plan parser/controller, the scheduler crash-recovery tests
 # (including the crash-vs-baseline property test), and the end-to-end
@@ -27,5 +34,13 @@ chaos:
 	$(GO) test -race -run 'TestParse|TestArm|TestEmptyPlan|TestWorkerCrash|TestLostKey|TestWorkerRestart|TestRepeatedCrash|TestCrash|TestChaos|TestRecoveryTimeline|TestAggregatorRecovery' \
 		./internal/chaos/ ./internal/dask/ ./internal/core/ ./internal/perfrecup/ ./internal/live/
 
+# The sharded, replicated cluster suites, race-enabled: placement, quorum
+# replication, failover/fencing, consumer groups, and the end-to-end cluster
+# sessions (broker kill mid-workflow, zero acknowledged loss, deterministic
+# failover timeline).
+cluster:
+	$(GO) test -race ./internal/mofka/cluster/
+	$(GO) test -race -run 'TestCluster' ./internal/core/
+
 # Everything CI runs.
-verify: build vet test race chaos
+verify: build vet test race chaos cluster

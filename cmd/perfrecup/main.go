@@ -24,6 +24,7 @@ import (
 	"taskprov/internal/core"
 	"taskprov/internal/darshan"
 	"taskprov/internal/mofka"
+	"taskprov/internal/mofka/cluster"
 	"taskprov/internal/perfrecup"
 	"taskprov/internal/perfrecup/frame"
 )
@@ -65,6 +66,8 @@ func main() {
 		err = cmdCorrelate(args)
 	case "heatmap":
 		err = cmdHeatmap(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "metadata":
 		err = cmdMetadata(args)
 	default:
@@ -78,15 +81,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: perfrecup <table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|metadata> <run dir...> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: perfrecup <table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|cluster|metadata> <run dir...> [flags]`)
 }
 
-// load accepts both artifact layouts: a run directory written by
-// cmd/taskprov (metadata.json + mofka/*.jsonl) or a durable broker data
-// directory (topics/ + segment files), which is loaded post-mortem straight
-// from the on-disk event log.
+// load accepts all artifact layouts: a run directory written by
+// cmd/taskprov (metadata.json + mofka/*.jsonl), a durable broker data
+// directory (topics/ + segment files), or a sharded cluster directory
+// (cluster.json + node-NN/ replica logs) — the latter two load post-mortem
+// straight from the on-disk event logs.
 func load(dir string) (*core.RunArtifacts, error) {
-	if mofka.IsDataDir(dir) {
+	if cluster.IsClusterDir(dir) || mofka.IsDataDir(dir) {
 		return perfrecup.LoadEventLog(dir)
 	}
 	return core.LoadDir(dir)
@@ -466,6 +470,26 @@ func cmdHeatmap(args []string) error {
 		return fmt.Errorf("no heatmap data in %s", args[0])
 	}
 	fmt.Print(merged.Render())
+	return nil
+}
+
+// cmdCluster prints the Mofka cluster-health lane: the replication and
+// failover timeline a sharded run recorded on its warnings topic.
+func cmdCluster(args []string) error {
+	art, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	f, err := perfrecup.ClusterTimelineView(art)
+	if err != nil {
+		return err
+	}
+	tl := perfrecup.RenderClusterTimeline(f)
+	if tl == "" {
+		fmt.Println("no cluster events (single-broker run)")
+		return nil
+	}
+	fmt.Printf("cluster timeline (%d events):\n%s", f.NRows(), tl)
 	return nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"taskprov/internal/live"
 	"taskprov/internal/mochi/mercury"
 	"taskprov/internal/mofka"
+	"taskprov/internal/mofka/cluster"
 	"taskprov/internal/perfrecup"
 	"taskprov/internal/workloads"
 )
@@ -56,7 +57,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-live] [-live-http ADDR] [-chaos SPEC] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-cluster N] [-replication N] [-quorum N] [-live] [-live-http ADDR] [-chaos SPEC] [-no-dxt] [-no-collect] [-no-steal]
   taskprov watch (-data-dir DIR | -broker ADDR) [-http ADDR] [-interval DUR] [-once] [-json]
   taskprov list`)
 }
@@ -80,6 +81,9 @@ func cmdRun(args []string) error {
 	dataDir := fs.String("data-dir", "", "root for durable Mofka event logs (one subdirectory per run; empty = in-memory)")
 	fsync := fs.String("fsync", "batch", "durable log fsync policy: batch|interval|never")
 	force := fs.Bool("force", false, "move an existing event log for the run aside (<dir>.old-<n>) instead of refusing")
+	clusterN := fs.Int("cluster", 0, "back the provenance stream with a sharded Mofka cluster of N broker replicas (0 = single broker)")
+	replication := fs.Int("replication", 0, "with -cluster, replicas per partition (0 = cluster default)")
+	quorum := fs.Int("quorum", 0, "with -cluster, append acknowledgement quorum (0 = majority of replication)")
 	liveMon := fs.Bool("live", false, "attach the live monitor (streaming aggregates + online anomaly detection)")
 	liveHTTP := fs.String("live-http", "", "with -live, serve /snapshot /metrics /events on this address during the run")
 	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "kill worker=3 at=20s restart=10s" (see internal/chaos)`)
@@ -91,6 +95,21 @@ func cmdRun(args []string) error {
 	}
 	if *workflow == "" {
 		return fmt.Errorf("missing -workflow")
+	}
+	// Validate flag inputs up front: absurd values fail with one clear
+	// error here instead of a confusing failure mid-run (core.Run validates
+	// the full SessionConfig again per run).
+	if *runs < 1 {
+		return fmt.Errorf("-runs %d: need at least 1", *runs)
+	}
+	if *runs > 10000 {
+		return fmt.Errorf("-runs %d is absurd (max 10000)", *runs)
+	}
+	if *clusterN < 0 || *replication < 0 || *quorum < 0 {
+		return fmt.Errorf("-cluster/-replication/-quorum must be >= 0")
+	}
+	if *clusterN == 0 && (*replication != 0 || *quorum != 0) {
+		return fmt.Errorf("-replication/-quorum need -cluster N")
 	}
 	for r := 0; r < *runs; r++ {
 		s := *seed + uint64(r)
@@ -121,6 +140,12 @@ func cmdRun(args []string) error {
 		cfg.LiveMonitor = *liveMon
 		cfg.LiveHTTPAddr = *liveHTTP
 		cfg.ChaosSpec = *chaosSpec
+		cfg.ClusterBrokers = *clusterN
+		cfg.ClusterReplication = *replication
+		cfg.ClusterQuorum = *quorum
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
 		art, err := core.Run(cfg, wf)
 		if err != nil {
 			return fmt.Errorf("run %s: %w", jobID, err)
@@ -149,6 +174,13 @@ func cmdRun(args []string) error {
 				}
 			}
 		}
+		if *clusterN > 0 && !*noCollect {
+			if f, err := perfrecup.ClusterTimelineView(art); err == nil {
+				if tl := perfrecup.RenderClusterTimeline(f); tl != "" {
+					fmt.Printf("  cluster timeline (%d events):\n%s", f.NRows(), tl)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -157,7 +189,7 @@ func cmdRun(args []string) error {
 // (<dir>.old-<n>, first free n) so the run can start fresh. Returns the new
 // name, or "" when dir held no event log.
 func moveAsideDataDir(dir string) (string, error) {
-	if !mofka.IsDataDir(dir) {
+	if !mofka.IsDataDir(dir) && !cluster.IsClusterDir(dir) {
 		return "", nil
 	}
 	for n := 1; ; n++ {

@@ -12,16 +12,20 @@
 // Spec grammar (statements separated by ';', fields by whitespace):
 //
 //	kill worker=N at=DUR [restart=DUR]
+//	broker node=N at=DUR [restart=DUR]
 //	rpc [addr=S] [rpc=S] op=drop|delay|error [after=N] [count=N] [delay=DUR]
 //	wal [topic=S] [partition=N] [after=N] [count=N]
 //
 // DUR is a Go duration ("30s", "1.5m"). "kill" crashes worker N at virtual
-// time at, optionally booting a fresh process restart later. "rpc" faults
-// in-process RPCs whose destination address and RPC name match (omitted
-// matchers accept anything): after skips that many matching calls first,
-// count bounds how many calls are faulted (default 1), and op=delay sleeps
-// delay before proceeding. "wal" fails batch appends on matching topic /
-// partition the same way.
+// time at, optionally booting a fresh process restart later. "broker" does
+// the same to broker replica N of a sharded Mofka cluster
+// (internal/mofka/cluster): the node drops out of the SSG membership, its
+// partitions fail over to surviving replicas, and an optional restart
+// rejoins it with catch-up. "rpc" faults in-process RPCs whose destination
+// address and RPC name match (omitted matchers accept anything): after
+// skips that many matching calls first, count bounds how many calls are
+// faulted (default 1), and op=delay sleeps delay before proceeding. "wal"
+// fails batch appends on matching topic / partition the same way.
 //
 // Example: kill 1 of 8 workers two virtual minutes in, restarting it a
 // minute later, while the warnings topic's first partition rejects 3
@@ -58,6 +62,14 @@ type Kill struct {
 	Restart time.Duration // delay after the kill; 0 = never restart
 }
 
+// BrokerKill crashes one broker replica of a Mofka cluster at a virtual
+// time, optionally restarting (rejoin + catch-up) it later.
+type BrokerKill struct {
+	Node    int
+	At      time.Duration
+	Restart time.Duration // delay after the kill; 0 = never restart
+}
+
 // RPCFault faults in-process RPC dispatch for matching calls.
 type RPCFault struct {
 	Addr  string // exact destination address; "" matches any
@@ -78,9 +90,10 @@ type WALFault struct {
 
 // Plan is a parsed chaos specification.
 type Plan struct {
-	Kills []Kill
-	RPCs  []RPCFault
-	WALs  []WALFault
+	Kills   []Kill
+	Brokers []BrokerKill
+	RPCs    []RPCFault
+	WALs    []WALFault
 
 	// Spec is the original specification string, kept for provenance
 	// metadata so a degraded run records what was injected into it.
@@ -89,7 +102,7 @@ type Plan struct {
 
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Kills) == 0 && len(p.RPCs) == 0 && len(p.WALs) == 0)
+	return p == nil || (len(p.Kills) == 0 && len(p.Brokers) == 0 && len(p.RPCs) == 0 && len(p.WALs) == 0)
 }
 
 // Parse parses a chaos spec. An empty or whitespace-only spec yields an
@@ -124,6 +137,24 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("chaos: kill requires at=DURATION")
 			}
 			p.Kills = append(p.Kills, k)
+		case "broker":
+			b := BrokerKill{Node: -1}
+			if err := kv.intField("node", &b.Node); err != nil {
+				return nil, err
+			}
+			if err := kv.durField("at", &b.At); err != nil {
+				return nil, err
+			}
+			if err := kv.durField("restart", &b.Restart); err != nil {
+				return nil, err
+			}
+			if b.Node < 0 {
+				return nil, fmt.Errorf("chaos: broker requires node=N")
+			}
+			if b.At <= 0 {
+				return nil, fmt.Errorf("chaos: broker requires at=DURATION")
+			}
+			p.Brokers = append(p.Brokers, b)
 		case "rpc":
 			f := RPCFault{Count: 1}
 			f.Addr = kv.take("addr")
@@ -168,7 +199,7 @@ func Parse(spec string) (*Plan, error) {
 			}
 			p.WALs = append(p.WALs, f)
 		default:
-			return nil, fmt.Errorf("chaos: unknown directive %q (want kill, rpc, or wal)", fields[0])
+			return nil, fmt.Errorf("chaos: unknown directive %q (want kill, broker, rpc, or wal)", fields[0])
 		}
 		if err := kv.unused(); err != nil {
 			return nil, fmt.Errorf("chaos: %s statement: %w", fields[0], err)
@@ -252,6 +283,15 @@ type AppendFaulter interface {
 	SetAppendFault(func(topic string, partition int) error)
 }
 
+// BrokerKiller is the slice of a Mofka cluster the controller needs: the
+// ability to crash and restart broker replicas by node id.
+// *cluster.Cluster satisfies it.
+type BrokerKiller interface {
+	Brokers() int
+	KillBroker(id int) error
+	RestartBroker(id int) error
+}
+
 // Controller arms a plan against the systems under test, tracking the
 // count-based fault state.
 type Controller struct {
@@ -294,6 +334,25 @@ func (c *Controller) ArmWorkerFaults(k *sim.Kernel, cl WorkerKiller, workers int
 		k.At(sim.Time(kk.At), func() { cl.KillWorker(kk.Worker) })
 		if kk.Restart > 0 {
 			k.At(sim.Time(kk.At+kk.Restart), func() { cl.RestartWorker(kk.Worker) })
+		}
+	}
+	return nil
+}
+
+// ArmClusterFaults schedules the plan's broker-replica kills and restarts
+// on the simulation kernel against a sharded Mofka cluster. Kill/restart
+// errors are ignored at fire time (killing an already-dead node is a no-op
+// by design: two overlapping broker directives must not abort the run).
+// Call before kernel.Run.
+func (c *Controller) ArmClusterFaults(k *sim.Kernel, cl BrokerKiller) error {
+	for _, bk := range c.plan.Brokers {
+		if bk.Node >= cl.Brokers() {
+			return fmt.Errorf("chaos: broker node=%d but cluster has %d brokers", bk.Node, cl.Brokers())
+		}
+		b := bk
+		k.At(sim.Time(b.At), func() { cl.KillBroker(b.Node) }) //nolint:errcheck
+		if b.Restart > 0 {
+			k.At(sim.Time(b.At+b.Restart), func() { cl.RestartBroker(b.Node) }) //nolint:errcheck
 		}
 	}
 	return nil

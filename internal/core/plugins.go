@@ -18,8 +18,8 @@ import (
 // to plugins that only serialize and enqueue; batching and persistence
 // happen inside Mofka.
 type Collector struct {
-	broker    *mofka.Broker
-	producers map[string]*mofka.Producer
+	broker    *mofka.Broker // nil when publishing through a cluster Bus
+	producers map[string]mofka.Pusher
 
 	// Counters for quick sanity checks and overhead ablations.
 	events map[string]int64
@@ -38,14 +38,29 @@ type Collector struct {
 // collector, which records them on the warnings topic as
 // producer_degraded events.
 func NewCollector(broker *mofka.Broker, opts mofka.ProducerOptions) (*Collector, error) {
+	c, err := NewCollectorBus(broker.Bus(), 2, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.broker = broker
+	return c, nil
+}
+
+// NewCollectorBus is NewCollector against any Mofka deployment reachable
+// through the Bus interface — a standalone broker or a sharded, replicated
+// cluster (internal/mofka/cluster). partitions sets the per-topic partition
+// count (<=0 means 2).
+func NewCollectorBus(bus mofka.Bus, partitions int, opts mofka.ProducerOptions) (*Collector, error) {
+	if partitions <= 0 {
+		partitions = 2
+	}
 	c := &Collector{
-		broker:        broker,
-		producers:     make(map[string]*mofka.Producer),
+		producers:     make(map[string]mofka.Pusher),
 		events:        make(map[string]int64),
 		degradedSince: make(map[string]sim.Time),
 	}
 	for _, name := range AllTopics() {
-		t, err := broker.OpenOrCreateTopic(mofka.TopicConfig{Name: name, Partitions: 2})
+		t, err := bus.EnsureTopic(mofka.TopicConfig{Name: name, Partitions: partitions})
 		if err != nil {
 			return nil, fmt.Errorf("core: create topic %s: %w", name, err)
 		}
@@ -53,7 +68,7 @@ func NewCollector(broker *mofka.Broker, opts mofka.ProducerOptions) (*Collector,
 		topic := name
 		topicOpts.OnDegraded = func(err error) { c.producerDegraded(topic, err) }
 		topicOpts.OnRecovered = func() { c.producerRecovered(topic) }
-		c.producers[name] = t.NewProducer(topicOpts)
+		c.producers[name] = t.Producer(topicOpts)
 	}
 	return c, nil
 }
@@ -69,7 +84,8 @@ func (c *Collector) now() sim.Time {
 	return c.clock()
 }
 
-// Broker returns the broker the collector publishes to.
+// Broker returns the broker the collector publishes to, or nil when the
+// collector targets a cluster Bus (read the cluster's ReadView instead).
 func (c *Collector) Broker() *mofka.Broker { return c.broker }
 
 // producerDegraded and producerRecovered are the producer resilience hooks:

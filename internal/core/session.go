@@ -11,6 +11,7 @@ import (
 	"taskprov/internal/dask"
 	"taskprov/internal/live"
 	"taskprov/internal/mofka"
+	mcluster "taskprov/internal/mofka/cluster"
 	"taskprov/internal/mofka/wal"
 	"taskprov/internal/pfs"
 	"taskprov/internal/platform"
@@ -73,6 +74,24 @@ type SessionConfig struct {
 	// (default), "interval", or "never". See wal.ParseSyncPolicy.
 	MofkaSyncPolicy string
 
+	// ClusterBrokers, when > 0, backs the provenance stream with a sharded,
+	// replicated Mofka cluster of that many broker replicas instead of a
+	// single broker (internal/mofka/cluster): topic partitions spread over
+	// the replicas by rendezvous hashing, appends are quorum-acknowledged,
+	// and a broker crash (see the chaos "broker" directive) fails affected
+	// partitions over to surviving replicas without losing acknowledged
+	// events. RunArtifacts.Broker then holds the cluster's merged read view
+	// and RunArtifacts.Cluster the live cluster handle. Incompatible with an
+	// external broker passed to RunOnBroker.
+	ClusterBrokers int
+	// ClusterReplication is the replica count per partition (0 = the
+	// cluster default, 2 capped at the broker count). Must be <=
+	// ClusterBrokers.
+	ClusterReplication int
+	// ClusterQuorum is the acknowledgement quorum per append (0 = majority
+	// of the replication factor). Must be <= ClusterReplication.
+	ClusterQuorum int
+
 	// DisableCollection turns off all instrumentation (for overhead
 	// ablations): no plugins, no Darshan tracers.
 	DisableCollection bool
@@ -89,6 +108,45 @@ type SessionConfig struct {
 	LiveHTTPAddr string
 	// LiveOptions tunes the monitor (zero value = defaults).
 	LiveOptions live.MonitorOptions
+}
+
+// Validate rejects impossible session configurations with a clear error
+// before any resource is built — negative or absurd knob values surface
+// here instead of as confusing failures mid-run. Run/RunOnBroker call it
+// first; commands should call it right after flag parsing.
+func (cfg SessionConfig) Validate() error {
+	if cfg.MofkaBatchSize < 0 {
+		return fmt.Errorf("core: negative Mofka batch size %d", cfg.MofkaBatchSize)
+	}
+	if cfg.MofkaBatchSize > 1<<20 {
+		return fmt.Errorf("core: Mofka batch size %d is absurd (max %d)", cfg.MofkaBatchSize, 1<<20)
+	}
+	if cfg.DXTBufferSegments < 0 {
+		return fmt.Errorf("core: negative DXT buffer segments %d", cfg.DXTBufferSegments)
+	}
+	if cfg.DarshanMaxFileRecords < 0 {
+		return fmt.Errorf("core: negative Darshan max file records %d", cfg.DarshanMaxFileRecords)
+	}
+	if cfg.ClusterBrokers < 0 {
+		return fmt.Errorf("core: negative cluster broker count %d", cfg.ClusterBrokers)
+	}
+	if cfg.ClusterBrokers == 0 && (cfg.ClusterReplication != 0 || cfg.ClusterQuorum != 0) {
+		return fmt.Errorf("core: cluster replication/quorum set without ClusterBrokers")
+	}
+	if cfg.ClusterBrokers > 0 {
+		ccfg := mcluster.Config{
+			Brokers:           cfg.ClusterBrokers,
+			ReplicationFactor: cfg.ClusterReplication,
+			Quorum:            cfg.ClusterQuorum,
+		}
+		if err := ccfg.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if cfg.LiveHTTPAddr != "" {
+			return fmt.Errorf("core: the live HTTP endpoint requires a standalone broker (cluster runs attach the monitor to the merged read view after the run)")
+		}
+	}
+	return nil
 }
 
 // DefaultSessionConfig mirrors the paper's setup: Polaris-like platform with
@@ -113,6 +171,12 @@ type RunArtifacts struct {
 	DarshanLogs []*darshan.Log
 	Collector   *Collector
 
+	// Cluster is the sharded Mofka cluster the run published through, set
+	// when SessionConfig.ClusterBrokers > 0. Broker then holds the
+	// cluster's merged read view (every partition's acknowledged prefix
+	// plus max-merged cursors), so every analysis path works unchanged.
+	Cluster *mcluster.Cluster
+
 	// Live is the live monitor's final Summary, set when
 	// SessionConfig.LiveMonitor was enabled.
 	Live *live.Summary
@@ -131,6 +195,12 @@ func Run(cfg SessionConfig, wf Workflow) (*RunArtifacts, error) {
 // a TCP endpoint) share the event stream. A nil broker creates a private
 // in-memory one.
 func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArtifacts, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ClusterBrokers > 0 && broker != nil {
+		return nil, fmt.Errorf("core: ClusterBrokers is incompatible with an external broker")
+	}
 	k := sim.NewKernel(cfg.Seed)
 	plat := platform.New(k, cfg.Platform)
 	fsys := pfs.New(k, cfg.PFS)
@@ -154,7 +224,37 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 
 	cluster := dask.NewCluster(k, plat, px, cfg.Dask, tracers)
 
-	if broker == nil {
+	// Sharded, replicated deployment: the provenance stream targets a
+	// multi-broker Mofka cluster instead of one broker. Health events are
+	// timestamped with virtual time so the failover timeline lines up with
+	// the rest of the provenance stream.
+	var clu *mcluster.Cluster
+	if cfg.ClusterBrokers > 0 {
+		ccfg := mcluster.Config{
+			Brokers:           cfg.ClusterBrokers,
+			ReplicationFactor: cfg.ClusterReplication,
+			Quorum:            cfg.ClusterQuorum,
+			NowSeconds:        func() float64 { return k.Now().Seconds() },
+		}
+		if cfg.MofkaDataDir != "" {
+			if mcluster.IsClusterDir(cfg.MofkaDataDir) || mofka.IsDataDir(cfg.MofkaDataDir) {
+				return nil, fmt.Errorf("core: data dir %s already holds an event log (one directory per run)", cfg.MofkaDataDir)
+			}
+			pol, err := wal.ParseSyncPolicy(cfg.MofkaSyncPolicy)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			ccfg.DataDir = cfg.MofkaDataDir
+			ccfg.WAL = wal.Options{Sync: pol}
+		}
+		var err error
+		clu, err = mcluster.New(ccfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if broker == nil && clu == nil {
 		if cfg.MofkaDataDir != "" {
 			// Each run gets a fresh event log: appending a second run to an
 			// existing log would silently merge both runs' provenance.
@@ -181,11 +281,16 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		var err error
 		// Resilience: a broker hiccup degrades the producers (bounded
 		// buffering + quick in-line retries) instead of failing the run.
-		collector, err = NewCollector(broker, mofka.ProducerOptions{
+		popts := mofka.ProducerOptions{
 			BatchSize:    cfg.MofkaBatchSize,
 			FlushRetries: 2,
 			RetryBackoff: time.Millisecond,
-		})
+		}
+		if clu != nil {
+			collector, err = NewCollectorBus(clu.Bus(), 2, popts)
+		} else {
+			collector, err = NewCollector(broker, popts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +310,17 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		if err := ctl.ArmWorkerFaults(k, cluster, len(cluster.Workers())); err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		ctl.ArmBroker(broker)
+		if clu != nil {
+			if err := ctl.ArmClusterFaults(k, clu); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			ctl.ArmBroker(clu)
+		} else {
+			if len(plan.Brokers) > 0 {
+				return nil, fmt.Errorf("core: chaos broker directive requires ClusterBrokers > 0")
+			}
+			ctl.ArmBroker(broker)
+		}
 	}
 
 	// Live monitoring: attach the streaming aggregator to the broker before
@@ -214,7 +329,7 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 	// PERFRECUP views (the equivalence invariant, see internal/live).
 	var monitor *live.Monitor
 	var liveSrv *live.Server
-	if cfg.LiveMonitor {
+	if cfg.LiveMonitor && clu == nil {
 		monitor = live.NewMonitor(broker, cfg.LiveOptions)
 		slots := cfg.Platform.Nodes * cfg.Dask.WorkersPerNode * cfg.Dask.ThreadsPerWorker
 		monitor.Aggregator().SetMeta(wf.Name(), cfg.Seed, slots)
@@ -261,14 +376,45 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		return nil, fmt.Errorf("core: workflow %q deadlocked at %v (%d events pending)", wf.Name(), k.Now(), k.Pending())
 	}
 
-	art := &RunArtifacts{Broker: broker, Collector: collector, WallTime: end - start}
+	art := &RunArtifacts{Broker: broker, Collector: collector, Cluster: clu, WallTime: end - start}
 	if collector != nil {
 		if err := collector.Flush(); err != nil {
 			return nil, err
 		}
 	}
+	if clu != nil {
+		// The cluster-health lane: every replication/failover event (broker
+		// dead, leader elected, catch-up, under-replication, rebalance) is
+		// recorded on the warnings topic so perfrecup and live render the
+		// failover timeline from the provenance stream itself. Drained after
+		// the final flush so the append-time events are all present.
+		if collector != nil {
+			for _, ev := range clu.Events() {
+				collector.pushWarning(clusterWarning(ev))
+			}
+			if err := collector.Flush(); err != nil {
+				return nil, err
+			}
+		}
+		// All analyses read the merged view: acknowledged prefixes of every
+		// partition plus max-merged consumer cursors, materialized as a
+		// standalone in-memory broker.
+		view, err := clu.ReadView()
+		if err != nil {
+			return nil, fmt.Errorf("core: cluster read view: %w", err)
+		}
+		art.Broker = view
+	}
 	for _, rt := range runtimes {
 		art.DarshanLogs = append(art.DarshanLogs, rt.Snapshot())
+	}
+	if cfg.LiveMonitor && clu != nil {
+		// Cluster runs attach the monitor to the merged read view once the
+		// acknowledged prefixes are final; the Summary still satisfies the
+		// live/post-mortem equivalence invariant.
+		monitor = live.NewMonitor(art.Broker, cfg.LiveOptions)
+		slots := cfg.Platform.Nodes * cfg.Dask.WorkersPerNode * cfg.Dask.ThreadsPerWorker
+		monitor.Aggregator().SetMeta(wf.Name(), cfg.Seed, slots)
 	}
 	if monitor != nil {
 		sum := monitor.Finish(art.DarshanLogs, (end - start).Seconds())
@@ -298,11 +444,13 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		},
 		DaskConfig: DescribeDaskConfig(cluster.Config()),
 		Instrumentation: InstrumentationConfig{
-			DXTEnabled:        cfg.DarshanDXT,
-			DXTBufferSegments: dxtBuf,
-			MofkaBatchSize:    cfg.MofkaBatchSize,
-			MofkaDataDir:      cfg.MofkaDataDir,
-			Chaos:             cfg.ChaosSpec,
+			DXTEnabled:         cfg.DarshanDXT,
+			DXTBufferSegments:  dxtBuf,
+			MofkaBatchSize:     cfg.MofkaBatchSize,
+			MofkaDataDir:       cfg.MofkaDataDir,
+			ClusterBrokers:     cfg.ClusterBrokers,
+			ClusterReplication: cfg.ClusterReplication,
+			Chaos:              cfg.ChaosSpec,
 		},
 		StartSeconds: start.Seconds(),
 		EndSeconds:   end.Seconds(),
@@ -310,9 +458,13 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 	}
 	if cfg.MofkaDataDir != "" {
 		// Make the data directory self-describing: with metadata.json next
-		// to topics/, perfrecup can analyze the event log post-mortem
-		// without the JSONL run directory.
-		if err := broker.Sync(); err != nil {
+		// to topics/ (or cluster.json), perfrecup can analyze the event log
+		// post-mortem without the JSONL run directory.
+		if clu != nil {
+			if err := clu.Sync(); err != nil {
+				return nil, err
+			}
+		} else if err := broker.Sync(); err != nil {
 			return nil, err
 		}
 		p := filepath.Join(cfg.MofkaDataDir, "metadata.json")
@@ -324,6 +476,24 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		}
 	}
 	return art, nil
+}
+
+// clusterWarning maps one cluster health event onto the warnings topic: the
+// kind is carried verbatim (all "cluster_"-prefixed; see
+// perfrecup.ClusterTimelineView and the live cluster-health lane), the
+// source broker becomes the worker label, and the virtual timestamp keeps
+// the failover timeline aligned with the rest of the provenance stream.
+func clusterWarning(ev mcluster.Event) dask.Warning {
+	msg := ev.Detail
+	if ev.Topic != "" {
+		msg = fmt.Sprintf("%s[%d] epoch=%d: %s", ev.Topic, ev.Partition, ev.Epoch, ev.Detail)
+	}
+	return dask.Warning{
+		Kind:    dask.WarningKind(ev.Kind),
+		Worker:  fmt.Sprintf("broker-%d", ev.Node),
+		At:      sim.Time(ev.At * float64(time.Second)),
+		Message: msg,
+	}
 }
 
 // jobScript synthesizes the submitted job script, part of the job-layer

@@ -24,6 +24,7 @@ package live
 
 import (
 	"sort"
+	"strings"
 	"sync"
 
 	"taskprov/internal/darshan"
@@ -174,6 +175,20 @@ type Summary struct {
 	// AggregatorOptions.RecoveryEventCap.
 	Recovery []RecoveryEvent `json:"recovery,omitempty"`
 
+	// ClusterHealth is the Mofka cluster's replication/failover lane:
+	// warnings whose kind carries the "cluster_" prefix (broker dead,
+	// leader elected, catch-up, under-replication, group rebalance; see
+	// internal/mofka/cluster). Sorted like Recovery, capped at
+	// RecoveryEventCap, empty for single-broker runs.
+	ClusterHealth []RecoveryEvent `json:"cluster_health,omitempty"`
+
+	// ConsumerLag is the monitoring consumer's own backlog per
+	// "topic/partition" — events appended but not yet ingested. Zero
+	// entries are omitted; a fully drained monitor reports none. Set by
+	// Monitor snapshots, never by post-mortem replays (which are always
+	// fully drained).
+	ConsumerLag map[string]uint64 `json:"consumer_lag,omitempty"`
+
 	Windows   []WindowSnapshot `json:"windows,omitempty"`
 	Anomalies []Anomaly        `json:"anomalies,omitempty"`
 }
@@ -228,6 +243,7 @@ type Aggregator struct {
 	warnings  map[string]int
 
 	recovery []RecoveryEvent
+	cluster  []RecoveryEvent
 
 	windows   *windowRing
 	detect    *detectors
@@ -368,6 +384,11 @@ func (a *Aggregator) IngestEvent(topic string, partition int, m mofka.Metadata) 
 		at := w.At.Seconds()
 		if w.Kind.IsRecovery() && len(a.recovery) < a.opts.RecoveryEventCap {
 			a.recovery = append(a.recovery, RecoveryEvent{
+				At: at, Kind: kind, Worker: w.Worker, Message: w.Message,
+			})
+		}
+		if strings.HasPrefix(kind, "cluster_") && len(a.cluster) < a.opts.RecoveryEventCap {
+			a.cluster = append(a.cluster, RecoveryEvent{
 				At: at, Kind: kind, Worker: w.Worker, Message: w.Message,
 			})
 		}
@@ -572,25 +593,36 @@ func (a *Aggregator) Snapshot() Summary {
 	}
 
 	if len(a.recovery) > 0 {
-		s.Recovery = append([]RecoveryEvent(nil), a.recovery...)
-		sort.Slice(s.Recovery, func(i, j int) bool {
-			ri, rj := s.Recovery[i], s.Recovery[j]
-			if ri.At != rj.At {
-				return ri.At < rj.At
-			}
-			if ri.Kind != rj.Kind {
-				return ri.Kind < rj.Kind
-			}
-			if ri.Worker != rj.Worker {
-				return ri.Worker < rj.Worker
-			}
-			return ri.Message < rj.Message
-		})
+		s.Recovery = sortedTimeline(a.recovery)
+	}
+	if len(a.cluster) > 0 {
+		s.ClusterHealth = sortedTimeline(a.cluster)
 	}
 
 	s.Windows = a.windows.snapshot()
 	s.Anomalies = append([]Anomaly(nil), a.anomalies...)
 	return s
+}
+
+// sortedTimeline copies and sorts a warning-derived timeline by (At, Kind,
+// Worker, Message): identical for live and post-mortem replays regardless
+// of partition consumption order.
+func sortedTimeline(evs []RecoveryEvent) []RecoveryEvent {
+	out := append([]RecoveryEvent(nil), evs...)
+	sort.Slice(out, func(i, j int) bool {
+		ri, rj := out[i], out[j]
+		if ri.At != rj.At {
+			return ri.At < rj.At
+		}
+		if ri.Kind != rj.Kind {
+			return ri.Kind < rj.Kind
+		}
+		if ri.Worker != rj.Worker {
+			return ri.Worker < rj.Worker
+		}
+		return ri.Message < rj.Message
+	})
+	return out
 }
 
 // quantile interpolates the q-th quantile of an ascending-sorted slice,

@@ -198,6 +198,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(&b, "taskprov_live_host_io_bandwidth_bps{host=%q} %g\n", escapeLabel(h), snap.HostIO[h].BandwidthBps)
 		}
 	}
+	if len(snap.ConsumerLag) > 0 {
+		fmt.Fprintf(&b, "# HELP taskprov_live_consumer_lag Events appended but not yet ingested by the monitor, per topic/partition.\n# TYPE taskprov_live_consumer_lag gauge\n")
+		for _, key := range sortedKeys(snap.ConsumerLag) {
+			topic, part := key, ""
+			if i := strings.LastIndex(key, "/"); i >= 0 {
+				topic, part = key[:i], key[i+1:]
+			}
+			fmt.Fprintf(&b, "taskprov_live_consumer_lag{topic=%q,partition=%q} %d\n",
+				escapeLabel(topic), escapeLabel(part), snap.ConsumerLag[key])
+		}
+	}
+	if len(snap.ClusterHealth) > 0 {
+		byKind := map[string]int{}
+		for _, ev := range snap.ClusterHealth {
+			byKind[ev.Kind]++
+		}
+		fmt.Fprintf(&b, "# HELP taskprov_live_cluster_events_total Mofka cluster replication/failover events per kind.\n# TYPE taskprov_live_cluster_events_total counter\n")
+		for _, k := range sortedKeys(byKind) {
+			fmt.Fprintf(&b, "taskprov_live_cluster_events_total{kind=%q} %d\n", escapeLabel(k), byKind[k])
+		}
+	}
 	if len(snap.Anomalies) > 0 {
 		byKind := map[string]int{}
 		for _, a := range snap.Anomalies {

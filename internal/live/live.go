@@ -61,6 +61,7 @@ type Monitor struct {
 
 	mu        sync.Mutex
 	consumers map[string]*mofka.Consumer
+	lags      map[string]uint64 // "topic/partition" -> events not yet ingested
 	emitter   *mofka.Producer
 	emitDead  bool
 	commitOff bool
@@ -79,6 +80,7 @@ func NewMonitor(b *mofka.Broker, opts MonitorOptions) *Monitor {
 		opts:      opts,
 		agg:       NewAggregator(opts.Aggregator),
 		consumers: make(map[string]*mofka.Consumer),
+		lags:      make(map[string]uint64),
 		commitOff: opts.DisableCommit,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -92,9 +94,47 @@ func NewMonitor(b *mofka.Broker, opts MonitorOptions) *Monitor {
 // ingestion of side-channel sources like streamed I/O segments).
 func (m *Monitor) Aggregator() *Aggregator { return m.agg }
 
-// Snapshot returns the current aggregates; safe to call concurrently with
-// the pull loop.
-func (m *Monitor) Snapshot() Summary { return m.agg.Snapshot() }
+// Snapshot returns the current aggregates plus the monitor's own consumer
+// lag; safe to call concurrently with the pull loop.
+func (m *Monitor) Snapshot() Summary {
+	s := m.agg.Snapshot()
+	s.ConsumerLag = m.ConsumerLag()
+	return s
+}
+
+// ConsumerLag reports, per "topic/partition", how many events the broker
+// holds that the monitor has not ingested yet (mofka.Consumer.Lag sampled
+// at the end of each sweep). Zero-lag entries are omitted — so a completed
+// run's fully-drained Finish Summary carries no lag map at all and stays
+// byte-identical to a post-mortem replay's.
+func (m *Monitor) ConsumerLag() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.lags) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(m.lags))
+	for k, v := range m.lags {
+		out[k] = v
+	}
+	return out
+}
+
+// recordLag samples one consumer's lag. Called from the sweep goroutine
+// (the consumer handle is single-goroutine); only the map is shared.
+func (m *Monitor) recordLag(topic string, c *mofka.Consumer) {
+	lag := c.Lag()
+	m.mu.Lock()
+	for part, n := range lag {
+		key := fmt.Sprintf("%s/%d", topic, part)
+		if n == 0 {
+			delete(m.lags, key)
+		} else {
+			m.lags[key] = n
+		}
+	}
+	m.mu.Unlock()
+}
 
 // SubscribeAnomalies returns a channel carrying every anomaly raised from
 // now on. The channel is buffered; slow receivers lose anomalies rather
@@ -191,6 +231,7 @@ func (m *Monitor) sweep() int {
 				break
 			}
 		}
+		m.recordLag(topic, c)
 	}
 	return total
 }

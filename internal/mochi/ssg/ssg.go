@@ -181,6 +181,26 @@ func (g *Group) Heartbeat(id MemberID, now time.Time) bool {
 	return true
 }
 
+// Fail forcibly transitions a member to Dead at time now, firing EventFail.
+// It is the path external failure detectors use — chaos-injected broker
+// crashes and gateway ping timeouts — instead of waiting out the heartbeat
+// timeouts. Returns false when the member is unknown or already Dead.
+func (g *Group) Fail(id MemberID, now time.Time) bool {
+	g.mu.Lock()
+	m, ok := g.members[id]
+	if !ok || m.State == Dead {
+		g.mu.Unlock()
+		return false
+	}
+	m.State = Dead
+	m.LastSeen = now
+	obs := append([]Observer(nil), g.observers...)
+	ev := Event{Kind: EventFail, Member: *m}
+	g.mu.Unlock()
+	g.notify(obs, ev)
+	return true
+}
+
 // Sweep advances failure detection to time now, transitioning silent members
 // to Suspect and then Dead, and returns the number of state changes.
 func (g *Group) Sweep(now time.Time) int {

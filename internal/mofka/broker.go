@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -88,7 +90,16 @@ func (b *Broker) CreateTopic(cfg TopicConfig) (*Topic, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("%w: empty topic name", ErrInvalidEvent)
 	}
-	if cfg.Partitions <= 0 {
+	// Zero means "unspecified" and defaults to one partition; negative and
+	// absurd counts are configuration bugs and are rejected loudly rather
+	// than silently normalized.
+	if cfg.Partitions < 0 {
+		return nil, fmt.Errorf("%w: topic %s: negative partition count %d", ErrInvalidEvent, cfg.Name, cfg.Partitions)
+	}
+	if cfg.Partitions > MaxPartitions {
+		return nil, fmt.Errorf("%w: topic %s: %d partitions exceeds limit %d", ErrInvalidEvent, cfg.Name, cfg.Partitions, MaxPartitions)
+	}
+	if cfg.Partitions == 0 {
 		cfg.Partitions = 1
 	}
 	b.mu.Lock()
@@ -242,6 +253,57 @@ func (b *Broker) CommitCursor(consumer, topic string, partition int, next uint64
 	return nil
 }
 
+// CursorEntry is one committed consumer cursor, as enumerated by Cursors.
+type CursorEntry struct {
+	Consumer  string
+	Topic     string
+	Partition int
+	Next      uint64
+}
+
+// Cursors enumerates every committed cursor on the broker in key order. The
+// cluster layer uses it to merge per-replica cursor stores into one view.
+func (b *Broker) Cursors() []CursorEntry {
+	var out []CursorEntry
+	for _, kv := range b.meta.ListKeyVals("", "cursor/", 0) {
+		ent, ok := parseCursorKey(strings.TrimPrefix(kv.Key, "cursor/"))
+		if !ok {
+			continue
+		}
+		var next uint64
+		if json.Unmarshal(kv.Value, &next) != nil {
+			continue
+		}
+		ent.Next = next
+		out = append(out, ent)
+	}
+	return out
+}
+
+// parseCursorKey inverts cursorKey. Topic names cannot contain "/", so the
+// last two "/"-separated segments are unambiguous even if a consumer name
+// contains slashes.
+func parseCursorKey(key string) (CursorEntry, bool) {
+	i := strings.LastIndex(key, "/")
+	if i < 0 {
+		return CursorEntry{}, false
+	}
+	pseg := key[i+1:]
+	if len(pseg) < 2 || pseg[0] != 'p' {
+		return CursorEntry{}, false
+	}
+	part, err := strconv.Atoi(pseg[1:])
+	if err != nil || part < 0 {
+		return CursorEntry{}, false
+	}
+	rest := key[:i]
+	j := strings.LastIndex(rest, "/")
+	if j < 0 {
+		return CursorEntry{}, false
+	}
+	return CursorEntry{Consumer: rest[:j], Topic: rest[j+1:], Partition: part}, true
+}
+
 // LoadCursor returns a consumer's committed next-unread offset (0 if never
 // committed).
 func (b *Broker) LoadCursor(consumer, topic string, partition int) uint64 {
@@ -266,6 +328,9 @@ type Topic struct {
 
 // Name returns the topic name.
 func (t *Topic) Name() string { return t.cfg.Name }
+
+// Config returns the topic's creation-time configuration.
+func (t *Topic) Config() TopicConfig { return t.cfg }
 
 // Partitions returns the partition count.
 func (t *Topic) Partitions() int { return len(t.partitions) }
@@ -368,6 +433,23 @@ func (p *Partition) appendBatch(metas [][]byte, datas [][]byte) error {
 	}
 	p.cond.Broadcast()
 	return nil
+}
+
+// Append publishes a batch of pre-encoded events directly to this partition,
+// bypassing producer batching. It is the replication entry point: the
+// cluster layer (internal/mofka/cluster) uses it to apply a leader's batch
+// to follower replicas and to copy suffixes during catch-up, so replicated
+// partitions carry byte-identical streams.
+func (p *Partition) Append(metas [][]byte, datas [][]byte) error {
+	return p.appendBatch(metas, datas)
+}
+
+// ReadFrom returns up to max events starting at offset from. It is the
+// exported counterpart of the consumer read path, used by replication
+// catch-up and by post-mortem mergers that need raw partition access without
+// consumer state.
+func (p *Partition) ReadFrom(from uint64, max int, withData bool) ([]Event, error) {
+	return p.read(from, max, withData)
 }
 
 // read returns up to max events starting at offset from. withData controls

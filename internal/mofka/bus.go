@@ -1,0 +1,52 @@
+package mofka
+
+// Bus is the minimal event-publishing surface the provenance collector
+// needs. Two implementations exist: a standalone Broker (via Broker.Bus) and
+// a sharded, replicated cluster (internal/mofka/cluster). Defining the
+// interface here — in the leaf package both sides already import — lets
+// internal/core target either deployment without an import cycle.
+type Bus interface {
+	// EnsureTopic opens the topic, creating it if absent.
+	EnsureTopic(cfg TopicConfig) (BusTopic, error)
+}
+
+// BusTopic is one named event stream reachable through a Bus.
+type BusTopic interface {
+	Name() string
+	PartitionCount() int
+	// Producer creates a batching publisher for the topic. Cluster
+	// implementations honor the same batching/degraded-mode options and add
+	// quorum replication with idempotent retry underneath.
+	Producer(opts ProducerOptions) Pusher
+}
+
+// Pusher is the publishing half of a producer: what the collection plugins
+// actually call. *Producer satisfies it, as does the cluster producer.
+type Pusher interface {
+	Push(metadata Metadata, data []byte) error
+	PushRaw(metadata, data []byte) error
+	Flush() error
+	Close() error
+	// Degraded reports whether the producer is currently buffering because
+	// appends fail (broker unreachable, no quorum).
+	Degraded() bool
+}
+
+// Bus adapts the broker to the Bus interface.
+func (b *Broker) Bus() Bus { return brokerBus{b} }
+
+type brokerBus struct{ b *Broker }
+
+func (bb brokerBus) EnsureTopic(cfg TopicConfig) (BusTopic, error) {
+	t, err := bb.b.OpenOrCreateTopic(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return brokerBusTopic{t}, nil
+}
+
+type brokerBusTopic struct{ t *Topic }
+
+func (bt brokerBusTopic) Name() string                        { return bt.t.Name() }
+func (bt brokerBusTopic) PartitionCount() int                 { return bt.t.Partitions() }
+func (bt brokerBusTopic) Producer(opts ProducerOptions) Pusher { return bt.t.NewProducer(opts) }

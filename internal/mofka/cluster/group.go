@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"taskprov/internal/mofka"
+)
+
+// GroupOptions configures a named consumer group.
+type GroupOptions struct {
+	// Prefetch is the per-poll pull granularity. Default 64.
+	Prefetch int
+	// MaxInflight bounds delivered-but-uncommitted events across the whole
+	// group — the end-to-end backpressure credit pool. A Poll that would
+	// exceed it returns no events until commits release credit. Default
+	// 1024; negative means unlimited.
+	MaxInflight int
+	// FromCommitted starts each member at the group's committed cursors
+	// instead of offset zero. Default behavior for groups is true unless
+	// explicitly disabled with StartFromZero.
+	StartFromZero bool
+	// NoData skips payload fetching; events arrive metadata-only.
+	NoData bool
+}
+
+// Group is a named consumer group over one cluster topic: its members share
+// the topic's partitions (each partition is consumed by exactly one member
+// per generation), commit cursors under the group's name, and draw from a
+// shared in-flight credit pool. Membership changes trigger a rebalance that
+// reassigns partitions range-wise and bumps the generation; members pick up
+// their new assignment on their next Poll, resuming from committed cursors.
+type Group struct {
+	c     *Cluster
+	name  string
+	topic string
+	parts int
+	opts  GroupOptions
+
+	mu       sync.Mutex
+	gen      uint64
+	members  []*GroupConsumer
+	inflight int
+	nextID   int
+}
+
+// ConsumerGroup opens (or creates) the named group over topic. Groups with
+// the same name share nothing across ConsumerGroup calls — one *Group value
+// coordinates one process's members; cross-process coordination goes
+// through the shared committed cursors.
+func (c *Cluster) ConsumerGroup(name, topic string, opts GroupOptions) (*Group, error) {
+	if name == "" {
+		return nil, fmt.Errorf("cluster: consumer group needs a name")
+	}
+	t, err := c.Topic(topic)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Prefetch <= 0 {
+		opts.Prefetch = 64
+	}
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = 1024
+	}
+	return &Group{c: c, name: name, topic: topic, parts: t.PartitionCount(), opts: opts}, nil
+}
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Generation returns the current rebalance generation.
+func (g *Group) Generation() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.gen
+}
+
+// Join adds a member and rebalances. The returned consumer is
+// single-goroutine (like a mofka.Consumer).
+func (g *Group) Join() (*GroupConsumer, error) {
+	g.mu.Lock()
+	if g.c.IsClosed() {
+		g.mu.Unlock()
+		return nil, ErrClosed
+	}
+	m := &GroupConsumer{
+		g:    g,
+		id:   g.nextID,
+		next: make(map[int]uint64),
+	}
+	g.nextID++
+	g.members = append(g.members, m)
+	ev := g.rebalanceLocked()
+	g.mu.Unlock()
+	g.c.health.emit([]Event{ev})
+	return m, nil
+}
+
+// rebalanceLocked reassigns partitions range-wise across current members in
+// join order and bumps the generation. Caller holds g.mu.
+func (g *Group) rebalanceLocked() Event {
+	g.gen++
+	n := len(g.members)
+	for i, m := range g.members {
+		m.mu.Lock()
+		m.assigned = m.assigned[:0]
+		if n > 0 {
+			per := g.parts / n
+			extra := g.parts % n
+			lo := i*per + min(i, extra)
+			hi := lo + per
+			if i < extra {
+				hi++
+			}
+			for p := lo; p < hi; p++ {
+				m.assigned = append(m.assigned, p)
+			}
+		}
+		m.gen = g.gen
+		m.dirty = true
+		m.mu.Unlock()
+	}
+	return Event{
+		Kind: EventGroupRebalance, Node: -1, Topic: g.topic, Partition: -1,
+		At:     g.c.cfg.NowSeconds(),
+		Detail: fmt.Sprintf("group %s generation %d: %d members over %d partitions", g.name, g.gen, n, g.parts),
+	}
+}
+
+// Assignments returns the current partition assignment per member id.
+func (g *Group) Assignments() map[int][]int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[int][]int, len(g.members))
+	for _, m := range g.members {
+		m.mu.Lock()
+		out[m.id] = append([]int(nil), m.assigned...)
+		m.mu.Unlock()
+	}
+	return out
+}
+
+// Inflight returns delivered-but-uncommitted events across the group.
+func (g *Group) Inflight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.inflight
+}
+
+// acquire takes up to want credits and returns how many were granted.
+func (g *Group) acquire(want int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.opts.MaxInflight < 0 {
+		return want
+	}
+	free := g.opts.MaxInflight - g.inflight
+	if free <= 0 {
+		return 0
+	}
+	if want > free {
+		want = free
+	}
+	g.inflight += want
+	return want
+}
+
+func (g *Group) release(n int) {
+	g.mu.Lock()
+	g.inflight -= n
+	if g.inflight < 0 {
+		g.inflight = 0
+	}
+	g.mu.Unlock()
+}
+
+// GroupConsumer is one member of a consumer group. Not safe for concurrent
+// use (one goroutine per member, like mofka.Consumer).
+type GroupConsumer struct {
+	g  *Group
+	id int
+
+	mu       sync.Mutex
+	assigned []int
+	gen      uint64
+	dirty    bool // assignment changed: reload cursors on next Poll
+
+	next map[int]uint64
+	rr   int
+	left bool
+}
+
+// ID returns the member's id within its group.
+func (m *GroupConsumer) ID() int { return m.id }
+
+// Assignment returns the partitions currently assigned to this member.
+func (m *GroupConsumer) Assignment() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]int(nil), m.assigned...)
+}
+
+// refresh adopts a new assignment after a rebalance: cursors reload from
+// the group's committed state, so a partition that moved between members
+// resumes exactly at its last commit (uncommitted deliveries are
+// redelivered to the new owner — at-least-once across rebalances).
+func (m *GroupConsumer) refresh() error {
+	m.mu.Lock()
+	if !m.dirty {
+		m.mu.Unlock()
+		return nil
+	}
+	m.dirty = false
+	assigned := append([]int(nil), m.assigned...)
+	m.mu.Unlock()
+
+	next := make(map[int]uint64, len(assigned))
+	for _, p := range assigned {
+		if m.g.opts.StartFromZero {
+			next[p] = 0
+		} else {
+			next[p] = m.g.c.LoadCursor(m.g.name, m.g.topic, p)
+		}
+	}
+	m.mu.Lock()
+	m.next = next
+	m.mu.Unlock()
+	return nil
+}
+
+// Poll returns up to max unread events from the member's assigned
+// partitions, bounded by the group's in-flight credit pool. An empty return
+// means either no unread events or no available credit (commit to release
+// credit).
+func (m *GroupConsumer) Poll(max int) ([]mofka.Event, error) {
+	if m.left {
+		return nil, fmt.Errorf("cluster: consumer left group %s", m.g.name)
+	}
+	if err := m.refresh(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	assigned := append([]int(nil), m.assigned...)
+	m.mu.Unlock()
+	if len(assigned) == 0 {
+		return nil, nil
+	}
+
+	var out []mofka.Event
+	granted := m.g.acquire(max)
+	if granted == 0 {
+		return nil, nil
+	}
+	used := 0
+	// Round-robin across assigned partitions, reading the acked prefix.
+	for range assigned {
+		if used >= granted {
+			break
+		}
+		p := assigned[m.rr%len(assigned)]
+		m.rr++
+		want := granted - used
+		if want > m.g.opts.Prefetch {
+			want = m.g.opts.Prefetch
+		}
+		evs, err := m.g.c.Read(m.g.topic, p, m.next[p], want, !m.g.opts.NoData)
+		if err != nil {
+			m.g.release(granted - used)
+			return out, err
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		m.next[p] = evs[len(evs)-1].ID + 1
+		out = append(out, evs...)
+		used += len(evs)
+	}
+	if used < granted {
+		m.g.release(granted - used)
+	}
+	return out, nil
+}
+
+// Commit durably records the batch as processed under the group's name (one
+// replicated cursor write per distinct partition, highest offset wins) and
+// releases the batch's in-flight credits.
+func (m *GroupConsumer) Commit(evs []mofka.Event) error {
+	if len(evs) == 0 {
+		return nil
+	}
+	high := make(map[int]uint64, 2)
+	for _, ev := range evs {
+		if next := ev.ID + 1; next > high[ev.Partition] {
+			high[ev.Partition] = next
+		}
+	}
+	parts := make([]int, 0, len(high))
+	for p := range high {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		if err := m.g.c.CommitCursor(m.g.name, m.g.topic, p, high[p]); err != nil {
+			return err
+		}
+	}
+	m.g.release(len(evs))
+	return nil
+}
+
+// Lag reports, per assigned partition, acknowledged events this member has
+// not yet pulled.
+func (m *GroupConsumer) Lag() map[int]uint64 {
+	m.mu.Lock()
+	assigned := append([]int(nil), m.assigned...)
+	m.mu.Unlock()
+	out := make(map[int]uint64, len(assigned))
+	for _, p := range assigned {
+		length, err := m.g.c.Length(m.g.topic, p)
+		if err != nil {
+			continue
+		}
+		if next := m.next[p]; length > next {
+			out[p] = length - next
+		} else {
+			out[p] = 0
+		}
+	}
+	return out
+}
+
+// Leave removes the member from the group and rebalances the remainder.
+func (m *GroupConsumer) Leave() {
+	if m.left {
+		return
+	}
+	m.left = true
+	g := m.g
+	g.mu.Lock()
+	for i, mm := range g.members {
+		if mm == m {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	ev := g.rebalanceLocked()
+	g.mu.Unlock()
+	g.c.health.emit([]Event{ev})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

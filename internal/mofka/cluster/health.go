@@ -1,0 +1,88 @@
+package cluster
+
+import "sync"
+
+// Health event kinds. Every kind carries the "cluster_" prefix so
+// downstream consumers — the warnings-topic bridge in internal/core, the
+// live monitor's cluster-health lane, perfrecup's cluster timeline — can
+// select replication/failover provenance with one prefix match.
+const (
+	// EventBrokerDead: a broker member was declared dead (chaos kill or
+	// heartbeat timeout). Detail carries the reason.
+	EventBrokerDead = "cluster_broker_dead"
+	// EventBrokerRejoined: a previously dead local broker restarted and
+	// rejoined with a bumped incarnation.
+	EventBrokerRejoined = "cluster_broker_rejoined"
+	// EventLeaderElected: a partition changed leaders; Epoch is the new
+	// fencing epoch, Node the new leader.
+	EventLeaderElected = "cluster_leader_elected"
+	// EventCatchUp: a lagging replica was healed from a donor; Detail
+	// carries "copied N events from node M".
+	EventCatchUp = "cluster_catchup"
+	// EventUnderReplicated: a partition's alive replica count fell below
+	// quorum; appends fail with ErrUnavailable until a member returns.
+	EventUnderReplicated = "cluster_under_replicated"
+	// EventGroupRebalance: a consumer group's partition assignment changed;
+	// Detail names the group and generation.
+	EventGroupRebalance = "cluster_group_rebalance"
+)
+
+// Event is one cluster-health observation. Events are recorded in emission
+// order and fanned out to observers; internal/core republishes them into
+// the provenance warnings topic.
+type Event struct {
+	Kind      string  `json:"kind"`
+	Node      int     `json:"node"`      // broker id, or new leader for elections; -1 when not node-scoped
+	Topic     string  `json:"topic"`     // "" for node-scoped events
+	Partition int     `json:"partition"` // -1 for node-scoped events
+	Epoch     uint64  `json:"epoch"`     // fencing epoch for partition-scoped events
+	At        float64 `json:"at"`        // seconds (virtual in simulations)
+	Detail    string  `json:"detail"`
+}
+
+// healthLog accumulates events and fans them out to observers. emit is
+// always called after cluster/partition locks are released, so observers
+// may call back into the cluster (e.g. publish a warning event through a
+// cluster producer) without deadlocking.
+type healthLog struct {
+	mu     sync.Mutex
+	events []Event
+	obs    []func(Event)
+}
+
+func newHealthLog() *healthLog { return &healthLog{} }
+
+func (h *healthLog) emit(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.events = append(h.events, evs...)
+	var obs []func(Event)
+	obs = append(obs, h.obs...)
+	h.mu.Unlock()
+	for _, ev := range evs {
+		for _, o := range obs {
+			o(ev)
+		}
+	}
+}
+
+func (h *healthLog) subscribe(fn func(Event)) {
+	h.mu.Lock()
+	h.obs = append(h.obs, fn)
+	h.mu.Unlock()
+}
+
+func (h *healthLog) snapshot() []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Event(nil), h.events...)
+}
+
+// Events returns every health event recorded so far, in emission order.
+func (c *Cluster) Events() []Event { return c.health.snapshot() }
+
+// OnEvent registers an observer called synchronously (outside cluster
+// locks) for every subsequent health event.
+func (c *Cluster) OnEvent(fn func(Event)) { c.health.subscribe(fn) }

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"taskprov/internal/mochi/mercury"
+	"taskprov/internal/mofka"
+)
+
+// replica is one node's copy of the event store, local or remote. The
+// replication layer drives every member through this interface, so a
+// follower reached over Mercury RPC behaves identically to an in-process
+// broker.
+type replica interface {
+	ensureTopic(cfg mofka.TopicConfig) error
+	append(topic string, part int, metas, datas [][]byte) error
+	read(topic string, part int, from uint64, max int, withData bool) ([]mofka.Event, error)
+	length(topic string, part int) (uint64, error)
+	commitCursor(consumer, topic string, part int, next uint64) error
+	loadCursor(consumer, topic string, part int) (uint64, error)
+	ping() error
+	close() error
+}
+
+// localReplica adapts an in-process broker.
+type localReplica struct{ b *mofka.Broker }
+
+func (l localReplica) ensureTopic(cfg mofka.TopicConfig) error {
+	_, err := l.b.OpenOrCreateTopic(cfg)
+	return err
+}
+
+func (l localReplica) partition(topic string, part int) (*mofka.Partition, error) {
+	t, err := l.b.OpenTopic(topic)
+	if err != nil {
+		return nil, err
+	}
+	return t.Partition(part)
+}
+
+func (l localReplica) append(topic string, part int, metas, datas [][]byte) error {
+	p, err := l.partition(topic, part)
+	if err != nil {
+		return err
+	}
+	return p.Append(metas, datas)
+}
+
+func (l localReplica) read(topic string, part int, from uint64, max int, withData bool) ([]mofka.Event, error) {
+	p, err := l.partition(topic, part)
+	if err != nil {
+		return nil, err
+	}
+	return p.ReadFrom(from, max, withData)
+}
+
+func (l localReplica) length(topic string, part int) (uint64, error) {
+	p, err := l.partition(topic, part)
+	if err != nil {
+		return 0, err
+	}
+	return p.Length(), nil
+}
+
+func (l localReplica) commitCursor(consumer, topic string, part int, next uint64) error {
+	return l.b.CommitCursor(consumer, topic, part, next)
+}
+
+func (l localReplica) loadCursor(consumer, topic string, part int) (uint64, error) {
+	return l.b.LoadCursor(consumer, topic, part), nil
+}
+
+func (l localReplica) ping() error {
+	if l.b.IsClosed() {
+		return mofka.ErrClosed
+	}
+	return nil
+}
+
+func (l localReplica) close() error { return l.b.Close() }
+
+// remoteReplica adapts a broker reached over Mercury — the member a second
+// mofkad process contributes when it joins with -join.
+type remoteReplica struct {
+	addr   string
+	client *mercury.Client
+	remote *mofka.Remote
+}
+
+// dialReplica connects to a remote broker member.
+func dialReplica(addr string) (*remoteReplica, error) {
+	cl, err := mercury.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &remoteReplica{addr: addr, client: cl, remote: mofka.NewRemote(cl)}, nil
+}
+
+func (r *remoteReplica) ensureTopic(cfg mofka.TopicConfig) error {
+	// Validators are process-local functions and do not serialize; the
+	// leader validates before replicating, so followers can skip it.
+	cfg.Validator = nil
+	return r.remote.CreateTopic(cfg)
+}
+
+func (r *remoteReplica) append(topic string, part int, metas, datas [][]byte) error {
+	return r.remote.PushBatch(topic, part, metas, datas)
+}
+
+func (r *remoteReplica) read(topic string, part int, from uint64, max int, withData bool) ([]mofka.Event, error) {
+	return r.remote.Pull(topic, part, from, max, withData)
+}
+
+func (r *remoteReplica) length(topic string, part int) (uint64, error) {
+	return r.remote.PartitionLength(topic, part)
+}
+
+func (r *remoteReplica) commitCursor(consumer, topic string, part int, next uint64) error {
+	return r.remote.Commit(consumer, topic, part, next)
+}
+
+func (r *remoteReplica) loadCursor(consumer, topic string, part int) (uint64, error) {
+	return r.remote.Cursor(consumer, topic, part)
+}
+
+func (r *remoteReplica) ping() error { return r.remote.Ping() }
+
+func (r *remoteReplica) close() error { return r.client.Close() }

@@ -220,3 +220,33 @@ func (c *Consumer) CommitBatch(evs []Event) error {
 
 // Progress returns the next unread offset for a partition.
 func (c *Consumer) Progress(partition int) uint64 { return c.next[partition] }
+
+// Lag reports, per subscribed partition, how many published events this
+// consumer has not pulled yet (events buffered internally but not yet
+// returned by Pull still count as lag — they have not been delivered).
+func (c *Consumer) Lag() map[int]uint64 {
+	buffered := make(map[int]uint64, len(c.parts))
+	for _, ev := range c.buf {
+		buffered[ev.Partition]++
+	}
+	out := make(map[int]uint64, len(c.parts))
+	for _, pi := range c.parts {
+		length := c.topic.partitions[pi].Length()
+		delivered := c.next[pi] - buffered[pi]
+		if length > delivered {
+			out[pi] = length - delivered
+		} else {
+			out[pi] = 0
+		}
+	}
+	return out
+}
+
+// TotalLag sums Lag across subscribed partitions.
+func (c *Consumer) TotalLag() uint64 {
+	var n uint64
+	for _, lag := range c.Lag() {
+		n += lag
+	}
+	return n
+}

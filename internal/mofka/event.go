@@ -64,6 +64,12 @@ type envelope struct {
 // hook; a nil validator accepts everything.
 type Validator func(metadata []byte) error
 
+// MaxPartitions bounds TopicConfig.Partitions. Real Mofka deployments shard
+// a topic across at most a few partitions per broker; four thousand is far
+// past any sane layout and a near-certain sign of a miscomputed or corrupt
+// configuration, so CreateTopic rejects anything larger up front.
+const MaxPartitions = 4096
+
 // TopicConfig describes a topic at creation time.
 type TopicConfig struct {
 	Name       string `json:"name"`

@@ -16,6 +16,8 @@ const (
 	rpcPull        = "mofka.pull"
 	rpcCommit      = "mofka.commit"
 	rpcCursor      = "mofka.cursor"
+	rpcPartInfo    = "mofka.partition_info"
+	rpcPing        = "mofka.ping"
 )
 
 type pushRequest struct {
@@ -135,6 +137,27 @@ func (b *Broker) RegisterRPCs(ep *mercury.Endpoint) {
 		}
 		return json.Marshal(b.LoadCursor(cr.Consumer, cr.Topic, cr.Partition))
 	})
+	ep.Register(rpcPartInfo, func(req []byte) ([]byte, error) {
+		var pr pullRequest
+		if err := json.Unmarshal(req, &pr); err != nil {
+			return nil, err
+		}
+		t, err := b.OpenTopic(pr.Topic)
+		if err != nil {
+			return nil, err
+		}
+		p, err := t.Partition(pr.Partition)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(p.Length())
+	})
+	ep.Register(rpcPing, func([]byte) ([]byte, error) {
+		if b.IsClosed() {
+			return nil, ErrClosed
+		}
+		return []byte(`{}`), nil
+	})
 }
 
 // Remote is a client for a broker reached through a Mercury caller.
@@ -207,4 +230,17 @@ func (r *Remote) Cursor(consumer, topic string, partition int) (uint64, error) {
 	var next uint64
 	err := r.call(rpcCursor, commitRequest{Consumer: consumer, Topic: topic, Partition: partition}, &next)
 	return next, err
+}
+
+// PartitionLength returns the number of events in one remote partition.
+func (r *Remote) PartitionLength(topic string, partition int) (uint64, error) {
+	var n uint64
+	err := r.call(rpcPartInfo, pullRequest{Topic: topic, Partition: partition}, &n)
+	return n, err
+}
+
+// Ping probes remote liveness; the cluster gateway's failure detector calls
+// it on every sweep.
+func (r *Remote) Ping() error {
+	return r.call(rpcPing, struct{}{}, nil)
 }

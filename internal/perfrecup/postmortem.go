@@ -8,6 +8,7 @@ import (
 	"taskprov/internal/core"
 	"taskprov/internal/darshan"
 	"taskprov/internal/mofka"
+	"taskprov/internal/mofka/cluster"
 	"taskprov/internal/sim"
 )
 
@@ -25,8 +26,20 @@ import (
 //	darshan/*.darshan   per-worker I/O logs, if collected into the same dir
 //
 // Both are optional; views over missing sources simply come back empty.
+//
+// Sharded cluster directories (cluster.json + node-NN/ broker dirs, written
+// by runs with SessionConfig.ClusterBrokers set) load the same way: every
+// replica's log is opened and merged — the longest replica of each
+// partition wins, which by the quorum protocol's prefix-consistency is a
+// superset of every acknowledged event.
 func LoadEventLog(dataDir string) (*core.RunArtifacts, error) {
-	broker, err := mofka.OpenPostMortem(dataDir)
+	var broker *mofka.Broker
+	var err error
+	if cluster.IsClusterDir(dataDir) {
+		broker, err = cluster.OpenPostMortem(dataDir)
+	} else {
+		broker, err = mofka.OpenPostMortem(dataDir)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("perfrecup: open event log %s: %w", dataDir, err)
 	}
