@@ -200,6 +200,18 @@ func (c *Collection) Erase(id uint64) bool {
 	return true
 }
 
+// TruncateTo discards every document with ID >= n; subsequent Stores assign
+// IDs starting at n again. This is the in-memory counterpart of event-log
+// truncation: the replication layer uses it to drop a replica's divergent
+// tail so offsets stay dense.
+func (c *Collection) TruncateTo(n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n < uint64(len(c.docs)) {
+		c.docs = c.docs[:n]
+	}
+}
+
 // Size returns the number of live documents.
 func (c *Collection) Size() int {
 	c.mu.RLock()

@@ -444,6 +444,34 @@ func (p *Partition) Append(metas [][]byte, datas [][]byte) error {
 	return p.appendBatch(metas, datas)
 }
 
+// TruncateTo discards every event with ID >= n, so the next appended event
+// receives ID n. The durable log (if any) is truncated first, preserving
+// the invariant that every observable event is recoverable. The cluster
+// layer uses this to drop a restarted replica's unacknowledged divergent
+// tail before the replica rejoins replication; dropped payload regions stay
+// in Warabi but become unreachable.
+func (p *Partition) TruncateTo(n uint64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if p.topic.broker.readOnly {
+		return fmt.Errorf("%w: broker is read-only (post-mortem)", ErrClosed)
+	}
+	if n >= p.length {
+		return nil
+	}
+	if p.log != nil {
+		if err := p.log.TruncateTo(n); err != nil {
+			return fmt.Errorf("mofka: wal truncate %s[%d]: %w", p.topic.cfg.Name, p.index, err)
+		}
+	}
+	p.docs.TruncateTo(n)
+	p.length = n
+	return nil
+}
+
 // ReadFrom returns up to max events starting at offset from. It is the
 // exported counterpart of the consumer read path, used by replication
 // catch-up and by post-mortem mergers that need raw partition access without

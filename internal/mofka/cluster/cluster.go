@@ -385,6 +385,13 @@ func (c *Cluster) failNode(id int, reason string) {
 	}}
 	for _, ps := range parts {
 		ps.mu.Lock()
+		// Freeze the dead node's trustworthy prefix before reconciliation:
+		// everything it holds beyond the current acknowledged watermark is an
+		// unreplicated tail that must not survive a later restart.
+		if ps.trustedLen == nil {
+			ps.trustedLen = make(map[int]uint64)
+		}
+		ps.trustedLen[id] = ps.acked
 		evs = append(evs, c.electLocked(ps)...)
 		ps.mu.Unlock()
 	}
@@ -415,6 +422,8 @@ func (c *Cluster) RestartBroker(id int) error {
 		c.mu.Unlock()
 		return fmt.Errorf("cluster: broker %d is a remote member; restart it from its own process", id)
 	}
+	old := n.local
+	inc := n.incarnation + 1
 	c.mu.Unlock()
 
 	// Abandon the crashed broker instance and rebuild from disk (or empty).
@@ -423,22 +432,26 @@ func (c *Cluster) RestartBroker(id int) error {
 		b = mofka.NewStandaloneBroker()
 	} else {
 		// Close the old handle first so segment files are not double-owned.
-		n.local.Close() //nolint:errcheck // crash path; recovery re-reads disk
+		old.Close() //nolint:errcheck // crash path; recovery re-reads disk
 		b, err = mofka.NewDurableBroker(mofka.Options{DataDir: nodeDir(c.cfg.DataDir, id), WAL: c.cfg.WAL})
 		if err != nil {
 			return fmt.Errorf("cluster: restart node %d: %w", id, err)
 		}
 	}
 
+	// Join the membership group first, then publish the node mutation in one
+	// critical section: the sweeper goroutine reads n.member and n.alive
+	// under c.mu and must never observe a half-updated node.
+	rep := localReplica{b}
+	member := c.group.Join(fmt.Sprintf("broker-%d#%d", id, inc), c.cfg.Clock())
 	c.mu.Lock()
 	n.local = b
-	n.rep = localReplica{b}
+	n.rep = rep
+	n.member = member
 	n.alive = true
-	n.incarnation++
-	inc := n.incarnation
+	n.incarnation = inc
 	parts := c.partitionsOfLocked(id)
 	c.mu.Unlock()
-	n.member = c.group.Join(fmt.Sprintf("broker-%d#%d", id, inc), c.cfg.Clock())
 
 	evs := []Event{{
 		Kind: EventBrokerRejoined, Node: id, At: c.cfg.NowSeconds(),
@@ -447,9 +460,36 @@ func (c *Cluster) RestartBroker(id int) error {
 	for _, ps := range parts {
 		ps.mu.Lock()
 		// The rejoined replica must know the topic before catch-up appends.
-		if err := n.rep.ensureTopic(c.topicConfig(ps.topic)); err != nil {
+		if err := rep.ensureTopic(c.topicConfig(ps.topic)); err != nil {
 			ps.mu.Unlock()
 			return fmt.Errorf("cluster: restart node %d: %w", id, err)
+		}
+		// A durable restart can resurrect a tail the dead node appended but
+		// the cluster never acknowledged (quorum-failed batches, batches the
+		// producer later dropped). The cluster may have since reused those
+		// offsets for quorum-acknowledged events on the new leader — the
+		// current acknowledged watermark can be at or past the resurrected
+		// tail's end, so log length alone cannot reveal the divergence. The
+		// node's log is trustworthy only up to the watermark frozen when it
+		// was declared dead: clamp the rejoined log there and discard the
+		// replica's now-untrustworthy dedup state before it enters donor
+		// selection; catch-up from the current leader re-delivers the rest.
+		cut := ps.acked
+		if t, ok := ps.trustedLen[id]; ok && t < cut {
+			cut = t
+		}
+		delete(ps.trustedLen, id)
+		if ln, lerr := rep.length(ps.topic, ps.index); lerr == nil && ln > cut {
+			if terr := rep.truncate(ps.topic, ps.index, cut); terr != nil {
+				ps.mu.Unlock()
+				return fmt.Errorf("cluster: restart node %d: truncate %s[%d]: %w", id, ps.topic, ps.index, terr)
+			}
+			delete(ps.applied, id)
+			evs = append(evs, Event{
+				Kind: EventLogTruncated, Node: id, Topic: ps.topic, Partition: ps.index,
+				Epoch: ps.epoch, At: c.cfg.NowSeconds(),
+				Detail: fmt.Sprintf("dropped %d unacknowledged events beyond offset %d", ln-cut, cut),
+			})
 		}
 		evs = append(evs, c.electLocked(ps)...)
 		ps.mu.Unlock()

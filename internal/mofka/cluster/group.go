@@ -185,6 +185,7 @@ type GroupConsumer struct {
 	assigned []int
 	gen      uint64
 	dirty    bool // assignment changed: reload cursors on next Poll
+	pending  int  // events delivered to this member, not yet released to the pool
 
 	next map[int]uint64
 	rr   int
@@ -267,6 +268,7 @@ func (m *GroupConsumer) Poll(max int) ([]mofka.Event, error) {
 		evs, err := m.g.c.Read(m.g.topic, p, m.next[p], want, !m.g.opts.NoData)
 		if err != nil {
 			m.g.release(granted - used)
+			m.charge(used)
 			return out, err
 		}
 		if len(evs) == 0 {
@@ -279,16 +281,45 @@ func (m *GroupConsumer) Poll(max int) ([]mofka.Event, error) {
 	if used < granted {
 		m.g.release(granted - used)
 	}
+	m.charge(used)
 	return out, nil
+}
+
+// charge records n delivered events against this member, so Commit and
+// Leave can release exactly what is still outstanding.
+func (m *GroupConsumer) charge(n int) {
+	m.mu.Lock()
+	m.pending += n
+	m.mu.Unlock()
+}
+
+// settle forgets up to n outstanding events and returns how many were
+// actually outstanding — the amount safe to release back to the pool.
+func (m *GroupConsumer) settle(n int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n > m.pending {
+		n = m.pending
+	}
+	m.pending -= n
+	return n
 }
 
 // Commit durably records the batch as processed under the group's name (one
 // replicated cursor write per distinct partition, highest offset wins) and
-// releases the batch's in-flight credits.
+// releases the batch's in-flight credits. Every partition's cursor write is
+// attempted even if an earlier one fails; the first error is returned. The
+// batch's credits are released in every case — otherwise a batch dropped
+// after a failed Commit would leak its credits and eventually starve
+// Poll — so a failed Commit must not be retried with the same batch: the
+// uncommitted partitions simply stay at their previous cursor and their
+// events are redelivered after the next rebalance or restart
+// (at-least-once, the group's documented contract).
 func (m *GroupConsumer) Commit(evs []mofka.Event) error {
 	if len(evs) == 0 {
 		return nil
 	}
+	defer m.g.release(m.settle(len(evs)))
 	high := make(map[int]uint64, 2)
 	for _, ev := range evs {
 		if next := ev.ID + 1; next > high[ev.Partition] {
@@ -300,13 +331,13 @@ func (m *GroupConsumer) Commit(evs []mofka.Event) error {
 		parts = append(parts, p)
 	}
 	sort.Ints(parts)
+	var firstErr error
 	for _, p := range parts {
-		if err := m.g.c.CommitCursor(m.g.name, m.g.topic, p, high[p]); err != nil {
-			return err
+		if err := m.g.c.CommitCursor(m.g.name, m.g.topic, p, high[p]); err != nil && firstErr == nil {
+			firstErr = err
 		}
 	}
-	m.g.release(len(evs))
-	return nil
+	return firstErr
 }
 
 // Lag reports, per assigned partition, acknowledged events this member has
@@ -330,12 +361,21 @@ func (m *GroupConsumer) Lag() map[int]uint64 {
 	return out
 }
 
-// Leave removes the member from the group and rebalances the remainder.
+// Leave removes the member from the group, releases any credits the member
+// still holds (its undelivered-to-commit events redeliver to the partitions'
+// next owners), and rebalances the remainder.
 func (m *GroupConsumer) Leave() {
 	if m.left {
 		return
 	}
 	m.left = true
+	m.mu.Lock()
+	outstanding := m.pending
+	m.pending = 0
+	m.mu.Unlock()
+	if outstanding > 0 {
+		m.g.release(outstanding)
+	}
 	g := m.g
 	g.mu.Lock()
 	for i, mm := range g.members {

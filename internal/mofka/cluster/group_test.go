@@ -321,3 +321,92 @@ func TestGroupCursorsSurviveKill9(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupCreditsSurviveCommitFailure: a Commit whose cursor writes fail
+// (every replica down) must still release the batch's in-flight credits —
+// otherwise a dropped batch leaks credits and Poll starves once MaxInflight
+// is exhausted. Re-committing the same batch must not over-release.
+func TestGroupCreditsSurviveCommitFailure(t *testing.T) {
+	c := newTestCluster(t, 1, 1)
+	ct, err := c.EnsureTopic(mofka.TopicConfig{Name: "t", Partitions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushN(t, ct, 10, mofka.ProducerOptions{BatchSize: 5}).Close() //nolint:errcheck
+
+	g, err := c.ConsumerGroup("analysis", "t", GroupOptions{MaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := g.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := m.Poll(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 4 || g.Inflight() != 4 {
+		t.Fatalf("polled %d events, inflight %d; want 4/4", len(batch), g.Inflight())
+	}
+
+	// Every replica of the partition goes down: the cursor write must fail.
+	if err := c.KillBroker(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Commit(batch); err == nil {
+		t.Fatal("Commit succeeded with every replica dead")
+	}
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight %d after failed Commit, want 0 (credit leak)", got)
+	}
+	// A buggy double-commit must not push the pool negative or steal other
+	// members' credits.
+	m.Commit(batch) //nolint:errcheck
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight %d after double Commit, want 0", got)
+	}
+}
+
+// TestGroupLeaveReleasesCredits: a member leaving with uncommitted
+// deliveries returns its credits to the pool, so the remaining members can
+// keep polling.
+func TestGroupLeaveReleasesCredits(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	ct, err := c.EnsureTopic(mofka.TopicConfig{Name: "t", Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushN(t, ct, 20, mofka.ProducerOptions{BatchSize: 5}).Close() //nolint:errcheck
+
+	g, err := c.ConsumerGroup("analysis", "t", GroupOptions{MaxInflight: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := g.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := g.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Poll(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Inflight(); got == 0 {
+		t.Fatal("m1 polled nothing; test needs outstanding credits")
+	}
+	m1.Leave()
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("inflight %d after Leave, want 0 (credits not returned)", got)
+	}
+	// The survivor (now owning every partition) can draw the full pool.
+	evs, err := m2.Poll(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 6 {
+		t.Fatalf("survivor polled %d events, want 6 (credits still held by departed member)", len(evs))
+	}
+}

@@ -19,6 +19,10 @@ const (
 	// EventCatchUp: a lagging replica was healed from a donor; Detail
 	// carries "copied N events from node M".
 	EventCatchUp = "cluster_catchup"
+	// EventLogTruncated: a rejoining replica's unacknowledged divergent tail
+	// was discarded before catch-up; Detail reports how many events were
+	// dropped and the acknowledged offset the log was clamped to.
+	EventLogTruncated = "cluster_log_truncated"
 	// EventUnderReplicated: a partition's alive replica count fell below
 	// quorum; appends fail with ErrUnavailable until a member returns.
 	EventUnderReplicated = "cluster_under_replicated"

@@ -52,6 +52,17 @@ func (l localReplica) read(topic string, part int, from uint64, max int, withDat
 	return p.ReadFrom(from, max, withData)
 }
 
+// truncate drops events with offset >= n. Only the restart path needs it —
+// RestartBroker rejects remote members — so it lives on localReplica rather
+// than the replica interface.
+func (l localReplica) truncate(topic string, part int, n uint64) error {
+	p, err := l.partition(topic, part)
+	if err != nil {
+		return err
+	}
+	return p.TruncateTo(n)
+}
+
 func (l localReplica) length(topic string, part int) (uint64, error) {
 	p, err := l.partition(topic, part)
 	if err != nil {

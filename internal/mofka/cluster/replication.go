@@ -34,6 +34,15 @@ type partState struct {
 	// replicated batch sequence number — the dedup table that makes
 	// producer retries across leader changes exactly-once per replica.
 	applied map[int]map[string]uint64
+
+	// trustedLen records, per dead replica node, the acknowledged high-water
+	// mark at the moment the node was declared dead: the longest prefix of
+	// that node's log guaranteed consistent with the survivors. Anything the
+	// node holds beyond it is an unacknowledged tail whose offsets the
+	// cluster may have reused for quorum-acknowledged events, so a restart
+	// truncates the rejoining log here before the replica re-enters donor
+	// selection. Lazily allocated; entries are consumed by RestartBroker.
+	trustedLen map[int]uint64
 }
 
 // appliedSeq returns the highest applied sequence for (node, producer).
@@ -290,7 +299,7 @@ func (c *Cluster) appendLocked(ps *partState, producer string, seq uint64, epoch
 				continue
 			}
 		default:
-			copied, err := c.syncReplicaLocked(ps, r, ps.leader, flen, leaderLen)
+			copied, err := c.syncReplicaLocked(ps, r, ps.leader, leaderLen)
 			if err != nil {
 				continue
 			}
@@ -337,10 +346,13 @@ func (ps *partState) aliveReplicas(c *Cluster) []int {
 	return out
 }
 
-// syncReplicaLocked copies events [have, want) of the partition from donor
-// to dst in CatchUpBatch chunks and adopts the donor's dedup table. Caller
-// holds ps.mu. Returns the number of events copied.
-func (c *Cluster) syncReplicaLocked(ps *partState, dst, donor int, have, want uint64) (uint64, error) {
+// syncReplicaLocked copies the partition's events from donor to dst in
+// CatchUpBatch chunks until dst holds the donor's prefix [0, want), and
+// adopts the donor's dedup table. dst's current length is probed fresh here
+// rather than trusted from the caller — a stale or defaulted value would
+// re-append events dst already holds, duplicating them. Caller holds ps.mu.
+// Returns the number of events copied.
+func (c *Cluster) syncReplicaLocked(ps *partState, dst, donor int, want uint64) (uint64, error) {
 	dstRep, ok := c.replicaOf(dst)
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoNode, dst)
@@ -348,6 +360,10 @@ func (c *Cluster) syncReplicaLocked(ps *partState, dst, donor int, have, want ui
 	donorRep, ok := c.replicaOf(donor)
 	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNoNode, donor)
+	}
+	have, err := dstRep.length(ps.topic, ps.index)
+	if err != nil {
+		return 0, err
 	}
 	var copied uint64
 	for have < want {
@@ -405,7 +421,10 @@ func (c *Cluster) electLocked(ps *partState) []Event {
 
 	// Longest surviving log is the catch-up donor: it holds every
 	// acknowledged event (acked events live on >= quorum replicas, and
-	// replica logs are prefix-consistent).
+	// replica logs are prefix-consistent). A replica whose length probe
+	// fails is excluded from donor selection, leadership, and healing this
+	// round — treating a failed probe as length 0 would re-append the
+	// donor's whole prefix onto data the replica already holds.
 	donor, donorLen := -1, uint64(0)
 	lengths := make(map[int]uint64, len(alive))
 	for _, r := range alive {
@@ -423,28 +442,44 @@ func (c *Cluster) electLocked(ps *partState) []Event {
 		return evs
 	}
 
-	newLeader := alive[0]
-	if newLeader != donor {
-		copied, err := c.syncReplicaLocked(ps, newLeader, donor, lengths[newLeader], donorLen)
-		if err == nil && copied > 0 {
-			evs = append(evs, Event{
-				Kind: EventCatchUp, Node: newLeader, Topic: ps.topic, Partition: ps.index,
-				Epoch: ps.epoch, At: now,
-				Detail: fmt.Sprintf("copied %d events from node %d", copied, donor),
-			})
+	newLeader := -1
+	for _, r := range alive {
+		if _, ok := lengths[r]; ok {
+			newLeader = r
+			break
 		}
-		if err != nil {
+	}
+	healed := 1 // the donor holds its own full prefix
+	if newLeader != donor {
+		copied, err := c.syncReplicaLocked(ps, newLeader, donor, donorLen)
+		if err == nil {
+			healed++
+			if copied > 0 {
+				evs = append(evs, Event{
+					Kind: EventCatchUp, Node: newLeader, Topic: ps.topic, Partition: ps.index,
+					Epoch: ps.epoch, At: now,
+					Detail: fmt.Sprintf("copied %d events from node %d", copied, donor),
+				})
+			}
+		} else {
 			// The preferred leader cannot be healed right now; lead from the
 			// donor instead so acknowledged data stays serveable.
 			newLeader = donor
 		}
 	}
 	for _, r := range alive {
-		if r == newLeader {
+		if r == newLeader || r == donor {
 			continue
 		}
-		copied, err := c.syncReplicaLocked(ps, r, newLeader, lengths[r], donorLen)
-		if err == nil && copied > 0 {
+		if _, ok := lengths[r]; !ok {
+			continue
+		}
+		copied, err := c.syncReplicaLocked(ps, r, newLeader, donorLen)
+		if err != nil {
+			continue
+		}
+		healed++
+		if copied > 0 {
 			evs = append(evs, Event{
 				Kind: EventCatchUp, Node: r, Topic: ps.topic, Partition: ps.index,
 				Epoch: ps.epoch, At: now,
@@ -468,9 +503,11 @@ func (c *Cluster) electLocked(ps *partState) []Event {
 			Epoch: ps.epoch, At: now,
 			Detail: fmt.Sprintf("%d alive of %d replicas, quorum %d", len(alive), len(ps.replicas), c.cfg.Quorum),
 		})
-	} else if donorLen > ps.acked {
-		// Every alive replica now holds the donor's full prefix, which is at
-		// least quorum copies: the reconciled log is acknowledged.
+	} else if healed >= c.cfg.Quorum && donorLen > ps.acked {
+		// The donor's full prefix now provably lives on >= quorum replicas
+		// (the donor plus every replica healed to it this round): the
+		// reconciled log is acknowledged. Replicas that could not be probed
+		// or healed do not count toward the quorum.
 		ps.acked = donorLen
 	}
 	return evs

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -127,7 +128,8 @@ func (c *Cluster) RegisterRPCs(ep *mercury.Endpoint) {
 			metas[i] = m
 		}
 		epoch := pr.Epoch
-		if epoch == 0 {
+		epochless := epoch == 0
+		if epochless {
 			// Epoch-less clients (plain mofka.Remote) always take the current
 			// route; their retries are not idempotent, which matches the
 			// single-broker contract they were written against.
@@ -138,6 +140,14 @@ func (c *Cluster) RegisterRPCs(ep *mercury.Endpoint) {
 			epoch = cur
 		}
 		cur, err := c.Append(pr.Topic, pr.Partition, pr.Producer, pr.Seq, epoch, metas, pr.Datas)
+		// An election can land between the epoch read above and the append.
+		// Epoch-less clients have no fence-retry semantics, so absorb the
+		// transient here: Append returns the current epoch alongside
+		// ErrFenced, which is exactly the refreshed route to retry with.
+		for retries := 0; epochless && errors.Is(err, ErrFenced) && retries < 5; retries++ {
+			epoch = cur
+			cur, err = c.Append(pr.Topic, pr.Partition, pr.Producer, pr.Seq, epoch, metas, pr.Datas)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -230,14 +240,19 @@ func (c *Cluster) AddRemote(addr string) (int, error) {
 		return 0, fmt.Errorf("cluster: probe %s: %w", addr, err)
 	}
 
+	// Join the membership group before publishing the node: the sweeper
+	// goroutine reads n.member under c.mu, so the node must be fully formed
+	// when it becomes visible in c.nodes.
+	member := c.group.Join(addr, c.cfg.Clock())
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		c.group.Leave(member)
 		rep.close() //nolint:errcheck
 		return 0, ErrClosed
 	}
 	id := len(c.nodes)
-	n := &node{id: id, addr: addr, rep: rep, alive: true}
+	n := &node{id: id, addr: addr, rep: rep, alive: true, member: member}
 	c.nodes = append(c.nodes, n)
 	// Replicate existing topic definitions so the member can serve future
 	// catch-up reads and cursor commits for topics it will host.
@@ -246,7 +261,6 @@ func (c *Cluster) AddRemote(addr string) (int, error) {
 		cfgs = append(cfgs, ts.cfg)
 	}
 	c.mu.Unlock()
-	n.member = c.group.Join(addr, c.cfg.Clock())
 	for _, cfg := range cfgs {
 		if err := rep.ensureTopic(cfg); err != nil {
 			return id, fmt.Errorf("cluster: replicate topic %s to %s: %w", cfg.Name, addr, err)

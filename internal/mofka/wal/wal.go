@@ -378,6 +378,88 @@ func (l *Log) Append(rec Record) (uint64, error) {
 	return l.AppendBatch([]Record{rec})
 }
 
+// TruncateTo discards every record with offset >= n, so the next appended
+// record receives offset n. Segments based entirely above the cut are
+// deleted, the segment containing the cut is truncated at the exact frame
+// boundary, and the log is repositioned for appends before TruncateTo
+// returns. n >= NextOffset is a no-op; truncating below the retention
+// horizon or on a read-only log is an error. The replication layer uses
+// this to drop a rejoining replica's unacknowledged divergent tail before
+// catch-up.
+func (l *Log) TruncateTo(n uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: %s: log closed", l.dir)
+	}
+	if l.opts.ReadOnly {
+		return fmt.Errorf("wal: %s: log is read-only", l.dir)
+	}
+	if n >= l.next {
+		return nil
+	}
+	if n < l.first {
+		return fmt.Errorf("wal: truncate to %d below retention horizon %d", n, l.first)
+	}
+	// The cut lands in (or removes) the active segment: settle it on disk
+	// and close it, then do the surgery, then reopen for appends.
+	if l.active != nil {
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+		if err := l.active.Close(); err != nil {
+			return fmt.Errorf("wal: close before truncate: %w", err)
+		}
+		l.active, l.w = nil, nil
+	}
+	for len(l.segs) > 0 {
+		s := &l.segs[len(l.segs)-1]
+		if s.base >= n {
+			if err := os.Remove(s.path); err != nil {
+				return fmt.Errorf("wal: remove truncated segment: %w", err)
+			}
+			l.segs = l.segs[:len(l.segs)-1]
+			continue
+		}
+		if s.base+s.records > n {
+			size, err := l.frameBoundary(s.path, n-s.base)
+			if err != nil {
+				return err
+			}
+			if err := os.Truncate(s.path, size); err != nil {
+				return fmt.Errorf("wal: truncate segment: %w", err)
+			}
+			s.records = n - s.base
+			s.size = size
+		}
+		break
+	}
+	l.next = n
+	if len(l.segs) == 0 {
+		l.first = n
+	}
+	return l.openActive()
+}
+
+// frameBoundary returns the byte length of path's first k frames.
+func (l *Log) frameBoundary(path string, k uint64) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: open segment: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var size int64
+	for i := uint64(0); i < k; i++ {
+		_, n, err := readRecord(r, l.opts.MaxRecordBytes)
+		if err != nil {
+			return 0, corruptAt(path, size, err)
+		}
+		size += n
+	}
+	return size, nil
+}
+
 func (l *Log) syncLocked() error {
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)

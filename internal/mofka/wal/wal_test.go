@@ -438,3 +438,98 @@ func TestConcurrentAppendReplay(t *testing.T) {
 		t.Fatalf("replayed %d records, want 400", len(got))
 	}
 }
+
+func TestTruncateTo(t *testing.T) {
+	dir := t.TempDir()
+	// Small segments so the truncation point and whole-segment removal are
+	// both exercised.
+	l := mustOpen(t, dir, Options{SegmentBytes: 256})
+	for i := 0; i < 40; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Segments() < 3 {
+		t.Fatalf("want >=3 segments for a meaningful test, have %d", l.Segments())
+	}
+
+	if err := l.TruncateTo(100); err != nil {
+		t.Fatalf("no-op truncate: %v", err)
+	}
+	if got := l.NextOffset(); got != 40 {
+		t.Fatalf("NextOffset after no-op = %d, want 40", got)
+	}
+
+	if err := l.TruncateTo(17); err != nil {
+		t.Fatalf("TruncateTo: %v", err)
+	}
+	if got := l.NextOffset(); got != 17 {
+		t.Fatalf("NextOffset = %d, want 17", got)
+	}
+	got := collect(t, l, 0)
+	if len(got) != 17 {
+		t.Fatalf("replay returned %d records, want 17", len(got))
+	}
+	for i, r := range got {
+		if !bytes.Equal(r.Meta, rec(i).Meta) {
+			t.Fatalf("record %d corrupted after truncate", i)
+		}
+	}
+
+	// Appends continue at the cut with dense offsets.
+	off, err := l.Append(Record{Meta: []byte(`{"key":"new"}`), Data: []byte("new")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 17 {
+		t.Fatalf("post-truncate append got offset %d, want 17", off)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The truncation is durable: a reopen sees the clamped log, not the tail.
+	r := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer r.Close()
+	if got := r.NextOffset(); got != 18 {
+		t.Fatalf("reopened NextOffset = %d, want 18", got)
+	}
+	recovered := collect(t, r, 0)
+	if len(recovered) != 18 {
+		t.Fatalf("reopened replay %d records, want 18", len(recovered))
+	}
+	if !bytes.Equal(recovered[17].Data, []byte("new")) {
+		t.Fatalf("post-truncate append lost across reopen")
+	}
+}
+
+func TestTruncateToWholeLogAndReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, dir, Options{SegmentBytes: 128})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.TruncateTo(0); err != nil {
+		t.Fatalf("truncate to 0: %v", err)
+	}
+	if got := l.NextOffset(); got != 0 {
+		t.Fatalf("NextOffset = %d, want 0", got)
+	}
+	if len(collect(t, l, 0)) != 0 {
+		t.Fatal("records survived a truncate-to-zero")
+	}
+	if _, err := l.Append(rec(0)); err != nil {
+		t.Fatalf("append after full truncate: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ro := mustOpen(t, dir, Options{ReadOnly: true})
+	defer ro.Close()
+	if err := ro.TruncateTo(0); err == nil {
+		t.Fatal("read-only TruncateTo succeeded")
+	}
+}
