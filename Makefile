@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-cluster chaos cluster verify
+.PHONY: build vet test race bench bench-cluster bench-proxy chaos cluster property fuzz verify
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,14 @@ bench-cluster:
 		| $(GO) run ./tools/benchjson > BENCH_cluster.json
 	cat BENCH_cluster.json
 
+# Pass-by-reference data plane: scheduler control-path bytes for a 16x64MB
+# gather, direct relay vs proxy refs (BENCH_proxystore.json is checked in;
+# the proxy lane's control-B/op must stay >= 10x below direct).
+bench-proxy:
+	$(GO) test -run '^$$' -bench 'BenchmarkProxyTransfer' -benchtime 3x ./internal/dask/ \
+		| $(GO) run ./tools/benchjson > BENCH_proxystore.json
+	cat BENCH_proxystore.json
+
 # Seeded, deterministic fault-injection and recovery suites, race-enabled:
 # the chaos plan parser/controller, the scheduler crash-recovery tests
 # (including the crash-vs-baseline property test), and the end-to-end
@@ -42,5 +50,18 @@ cluster:
 	$(GO) test -race ./internal/mofka/cluster/
 	$(GO) test -race -run 'TestCluster' ./internal/core/
 
+# Property push, race-enabled: random DAGs through the scheduler (exactly
+# once, dependency order, determinism) and random kill/restart schedules
+# under the proxy data plane (holder/refcount/quiescence invariants).
+property:
+	$(GO) test -race -run 'TestRandomDAG' ./internal/dask/
+
+# WAL crash-recovery fuzzing: replay the checked-in seed corpus, then fuzz
+# live for a short burst (arbitrary segment bytes must never panic recovery
+# and must keep exactly the valid frame prefix).
+fuzz:
+	$(GO) test -run 'FuzzWALRecover' ./internal/mofka/wal/
+	$(GO) test -run '^$$' -fuzz 'FuzzWALRecover' -fuzztime 20s ./internal/mofka/wal/
+
 # Everything CI runs.
-verify: build vet test race chaos cluster
+verify: build vet test race chaos cluster property fuzz

@@ -68,6 +68,8 @@ func main() {
 		err = cmdHeatmap(args)
 	case "cluster":
 		err = cmdCluster(args)
+	case "proxy":
+		err = cmdProxy(args)
 	case "metadata":
 		err = cmdMetadata(args)
 	default:
@@ -81,7 +83,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: perfrecup <table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|cluster|metadata> <run dir...> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: perfrecup <table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|cluster|proxy|metadata> <run dir...> [flags]`)
 }
 
 // load accepts all artifact layouts: a run directory written by
@@ -288,7 +290,7 @@ func cmdLineage(args []string) error {
 
 func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
-	view := fs.String("view", "executions", "executions|transitions|transfers|warnings|dxt|posix|taskmeta|heartbeats|taskio")
+	view := fs.String("view", "executions", "executions|transitions|transfers|warnings|dxt|posix|taskmeta|heartbeats|taskio|proxy")
 	dir := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -317,6 +319,8 @@ func cmdExport(args []string) error {
 		f, err = perfrecup.HeartbeatsView(art)
 	case "taskio":
 		f, err = perfrecup.TaskIOSummary(art)
+	case "proxy":
+		f, err = perfrecup.ProxyView(art)
 	default:
 		return fmt.Errorf("unknown view %q", *view)
 	}
@@ -491,6 +495,86 @@ func cmdCluster(args []string) error {
 	}
 	fmt.Printf("cluster timeline (%d events):\n%s", f.NRows(), tl)
 	return nil
+}
+
+// cmdProxy prints the pass-by-reference data-plane lane: per-operation
+// counts, blob bytes, the store's resident footprint over time, and the
+// demand-to-arrival resolution latency distribution.
+func cmdProxy(args []string) error {
+	art, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	f, err := perfrecup.ProxyView(art)
+	if err != nil {
+		return err
+	}
+	if f.NRows() == 0 {
+		fmt.Println("no proxy-store events (direct transfers only)")
+		return nil
+	}
+	type opAgg struct {
+		n     int64
+		bytes int64
+	}
+	ops := map[string]*opAgg{}
+	var order []string
+	var peak, final int64
+	var resolves []float64
+	opCol := f.Col("op")
+	bytesCol := f.Col("bytes")
+	residentCol := f.Col("resident")
+	resolveCol := f.Col("resolve_latency")
+	for i := 0; i < f.NRows(); i++ {
+		op := opCol.Str(i)
+		a, ok := ops[op]
+		if !ok {
+			a = &opAgg{}
+			ops[op] = a
+			order = append(order, op)
+		}
+		a.n++
+		a.bytes += bytesCol.Int(i)
+		if r := residentCol.Int(i); r > peak {
+			peak = r
+		}
+		// The drain concatenates partitions and events can share a virtual
+		// timestamp, so the final footprint comes from the commutative delta
+		// sum rather than any single event's snapshot.
+		switch op {
+		case "publish":
+			final += bytesCol.Int(i)
+		case "free", "reclaim":
+			final -= bytesCol.Int(i)
+		}
+		if op == "resolve" {
+			resolves = append(resolves, resolveCol.Float(i))
+		}
+	}
+	sort.Strings(order)
+	fmt.Printf("proxy store lane (%d events):\n", f.NRows())
+	fmt.Println("op        n       bytes")
+	for _, op := range order {
+		a := ops[op]
+		fmt.Printf("%-9s %-7d %d\n", op, a.n, a.bytes)
+	}
+	fmt.Printf("resident: peak %d B, final %d B\n", peak, final)
+	if len(resolves) > 0 {
+		fmt.Printf("resolve latency: mean %.5fs p95 %.5fs max %.5fs (%d resolves)\n",
+			perfrecup.Mean(resolves), perfrecup.Percentile(resolves, 95),
+			maxFloat(resolves), len(resolves))
+	}
+	return nil
+}
+
+func maxFloat(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
 }
 
 // cmdMetadata prints the run's layered provenance chart (Fig. 1).

@@ -57,7 +57,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-cluster N] [-replication N] [-quorum N] [-live] [-live-http ADDR] [-chaos SPEC] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-cluster N] [-replication N] [-quorum N] [-live] [-live-http ADDR] [-chaos SPEC] [-proxy-threshold BYTES] [-proxy-prefetch] [-no-dxt] [-no-collect] [-no-steal]
   taskprov watch (-data-dir DIR | -broker ADDR) [-http ADDR] [-interval DUR] [-once] [-json]
   taskprov list`)
 }
@@ -87,6 +87,8 @@ func cmdRun(args []string) error {
 	liveMon := fs.Bool("live", false, "attach the live monitor (streaming aggregates + online anomaly detection)")
 	liveHTTP := fs.String("live-http", "", "with -live, serve /snapshot /metrics /events on this address during the run")
 	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "kill worker=3 at=20s restart=10s" (see internal/chaos)`)
+	proxyThreshold := fs.Int64("proxy-threshold", 0, "pass outputs of at least BYTES by reference through the proxy store (0 = direct transfers)")
+	proxyPrefetch := fs.Bool("proxy-prefetch", false, "with -proxy-threshold, resolve proxied dependencies eagerly at assignment instead of at first use")
 	noDXT := fs.Bool("no-dxt", false, "disable Darshan DXT tracing")
 	noCollect := fs.Bool("no-collect", false, "disable all instrumentation (overhead ablation)")
 	noSteal := fs.Bool("no-steal", false, "disable work stealing (scheduling ablation)")
@@ -110,6 +112,12 @@ func cmdRun(args []string) error {
 	}
 	if *clusterN == 0 && (*replication != 0 || *quorum != 0) {
 		return fmt.Errorf("-replication/-quorum need -cluster N")
+	}
+	if *proxyThreshold < 0 {
+		return fmt.Errorf("-proxy-threshold must be >= 0")
+	}
+	if *proxyPrefetch && *proxyThreshold == 0 {
+		return fmt.Errorf("-proxy-prefetch needs -proxy-threshold BYTES")
 	}
 	for r := 0; r < *runs; r++ {
 		s := *seed + uint64(r)
@@ -137,6 +145,8 @@ func cmdRun(args []string) error {
 		if *noSteal {
 			cfg.Dask.WorkStealing = false
 		}
+		cfg.Dask.ProxyThresholdBytes = *proxyThreshold
+		cfg.Dask.ProxyPrefetch = *proxyPrefetch
 		cfg.LiveMonitor = *liveMon
 		cfg.LiveHTTPAddr = *liveHTTP
 		cfg.ChaosSpec = *chaosSpec
@@ -179,6 +189,16 @@ func cmdRun(args []string) error {
 				if tl := perfrecup.RenderClusterTimeline(f); tl != "" {
 					fmt.Printf("  cluster timeline (%d events):\n%s", f.NRows(), tl)
 				}
+			}
+		}
+		if *proxyThreshold > 0 && !*noCollect {
+			if f, err := perfrecup.ProxyView(art); err == nil && f.NRows() > 0 {
+				ops := map[string]int{}
+				for i := 0; i < f.NRows(); i++ {
+					ops[f.Col("op").Str(i)]++
+				}
+				fmt.Printf("  proxy store: %d publishes, %d resolves, %d misses, %d frees, %d reclaims\n",
+					ops["publish"], ops["resolve"], ops["miss"], ops["free"], ops["reclaim"])
 			}
 		}
 	}

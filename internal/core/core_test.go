@@ -150,6 +150,16 @@ func TestRoundTripEncodeParse(t *testing.T) {
 	if got := ParseTransfer(TransferEvent(tf)); got != tf {
 		t.Fatalf("transfer round trip: %+v vs %+v", got, tf)
 	}
+	ptf := dask.Transfer{Key: "k-2", From: "a", To: "b", Bytes: 1 << 20, Start: sim.Seconds(1), Stop: sim.Seconds(2),
+		ViaProxy: true, ResolveLatency: sim.Milliseconds(35)}
+	if got := ParseTransfer(TransferEvent(ptf)); got != ptf {
+		t.Fatalf("proxied transfer round trip: %+v vs %+v", got, ptf)
+	}
+	pe := dask.ProxyEvent{Op: dask.ProxyOpResolve, Key: "k-2", Worker: "tcp://n:40001", Bytes: 1 << 20,
+		Resident: 3 << 20, ResolveLatency: sim.Milliseconds(35), At: sim.Seconds(2)}
+	if got := ParseProxyEvent(ProxyEventMeta(pe)); got != pe {
+		t.Fatalf("proxy event round trip: %+v vs %+v", got, pe)
+	}
 	w := dask.Warning{Kind: dask.WarnGC, Worker: "w", Hostname: "h", At: sim.Seconds(3), Duration: sim.Seconds(0.25), Message: "gc"}
 	if got := ParseWarning(WarningEvent(w)); got != w {
 		t.Fatalf("warning round trip: %+v vs %+v", got, w)

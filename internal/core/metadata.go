@@ -82,6 +82,10 @@ type DaskConfigDescription struct {
 	StealIntervalSec       float64 `json:"steal_interval_sec"`
 	EventLoopThresholdSec  float64 `json:"event_loop_threshold_sec"`
 	DefaultTaskDurationSec float64 `json:"default_task_duration_sec"`
+	// ProxyThresholdBytes/ProxyPrefetch record the pass-by-reference data
+	// plane configuration; zero threshold means direct transfers only.
+	ProxyThresholdBytes int64 `json:"proxy_threshold_bytes,omitempty"`
+	ProxyPrefetch       bool  `json:"proxy_prefetch,omitempty"`
 }
 
 // DescribeDaskConfig extracts the serializable view of a dask.Config.
@@ -92,6 +96,8 @@ func DescribeDaskConfig(c dask.Config) DaskConfigDescription {
 		StealIntervalSec:       c.StealInterval.Seconds(),
 		EventLoopThresholdSec:  c.EventLoopMonitorThreshold.Seconds(),
 		DefaultTaskDurationSec: c.DefaultTaskDuration.Seconds(),
+		ProxyThresholdBytes:    c.ProxyThresholdBytes,
+		ProxyPrefetch:          c.ProxyPrefetch,
 	}
 }
 

@@ -188,3 +188,6 @@ func (p *workerPlugin) WorkerWarning(w dask.Warning) { p.c.push(TopicWarnings, W
 func (p *workerPlugin) Heartbeat(m dask.WorkerMetrics) {
 	p.c.push(TopicHeartbeats, HeartbeatEvent(m))
 }
+func (p *workerPlugin) ProxyEvent(ev dask.ProxyEvent) {
+	p.c.push(TopicProxy, ProxyEventMeta(ev))
+}

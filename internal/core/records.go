@@ -35,6 +35,7 @@ const (
 	TopicHeartbeats  = provenance.TopicHeartbeats
 	TopicSteals      = provenance.TopicSteals
 	TopicGraphs      = provenance.TopicGraphs
+	TopicProxy       = provenance.TopicProxy
 	TopicAnomalies   = provenance.TopicAnomalies
 )
 
@@ -61,6 +62,9 @@ func HeartbeatEvent(m dask.WorkerMetrics) mofka.Metadata { return provenance.Hea
 
 // StealEventMeta encodes a StealEvent as Mofka event metadata.
 func StealEventMeta(s dask.StealEvent) mofka.Metadata { return provenance.StealEventMeta(s) }
+
+// ProxyEventMeta encodes a ProxyEvent as Mofka event metadata.
+func ProxyEventMeta(e dask.ProxyEvent) mofka.Metadata { return provenance.ProxyEventMeta(e) }
 
 // GraphDoneEvent encodes a graph completion as Mofka event metadata.
 func GraphDoneEvent(graphID int, at sim.Time) mofka.Metadata {
@@ -92,6 +96,9 @@ func ParseHeartbeat(m mofka.Metadata) dask.WorkerMetrics { return provenance.Par
 
 // ParseSteal decodes metadata written by StealEventMeta.
 func ParseSteal(m mofka.Metadata) dask.StealEvent { return provenance.ParseSteal(m) }
+
+// ParseProxyEvent decodes metadata written by ProxyEventMeta.
+func ParseProxyEvent(m mofka.Metadata) dask.ProxyEvent { return provenance.ParseProxyEvent(m) }
 
 // DrainTopic pulls every event of a topic and decodes its metadata.
 func DrainTopic(b *mofka.Broker, topic string) ([]mofka.Metadata, error) {

@@ -142,3 +142,6 @@ func (p *remoteWorkerPlugin) WorkerWarning(w dask.Warning) {
 func (p *remoteWorkerPlugin) Heartbeat(m dask.WorkerMetrics) {
 	p.c.push(TopicHeartbeats, HeartbeatEvent(m))
 }
+func (p *remoteWorkerPlugin) ProxyEvent(ev dask.ProxyEvent) {
+	p.c.push(TopicProxy, ProxyEventMeta(ev))
+}

@@ -130,6 +130,12 @@ func (cfg SessionConfig) Validate() error {
 	if cfg.ClusterBrokers < 0 {
 		return fmt.Errorf("core: negative cluster broker count %d", cfg.ClusterBrokers)
 	}
+	if cfg.Dask.ProxyThresholdBytes < 0 {
+		return fmt.Errorf("core: negative proxy threshold %d", cfg.Dask.ProxyThresholdBytes)
+	}
+	if cfg.Dask.ProxyThresholdBytes == 0 && cfg.Dask.ProxyPrefetch {
+		return fmt.Errorf("core: ProxyPrefetch requires a positive ProxyThresholdBytes")
+	}
 	if cfg.ClusterBrokers == 0 && (cfg.ClusterReplication != 0 || cfg.ClusterQuorum != 0) {
 		return fmt.Errorf("core: cluster replication/quorum set without ClusterBrokers")
 	}

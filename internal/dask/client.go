@@ -90,6 +90,28 @@ func (cl *Client) SubmitAndWait(p *sim.Proc, g *Graph) {
 	cl.Wait(p, g.ID)
 }
 
+// Gather pulls the results of the given keys back to the client process,
+// returning the total bytes delivered. In the direct data plane each payload
+// relays through the scheduler (distributed's gather(direct=False) default);
+// with the proxy store enabled the scheduler answers with a reference and the
+// payload streams peer-to-peer from the owning worker. Keys still computing
+// are waited for; erred keys deliver zero bytes.
+func (cl *Client) Gather(p *sim.Proc, keys []TaskKey) int64 {
+	var total int64
+	for _, key := range keys {
+		k := key
+		p.Await(func(done func()) {
+			cl.c.control(cl.node, cl.c.scheduler.node, func() {
+				cl.c.scheduler.handleGather(k, func(size int64) {
+					total += size
+					done()
+				})
+			})
+		})
+	}
+	return total
+}
+
 // graphDone is invoked (via a control message) when the scheduler reports a
 // graph finished (errMsg is non-empty if any task erred).
 func (cl *Client) graphDone(graphID int, errMsg string) {

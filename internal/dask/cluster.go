@@ -26,6 +26,16 @@ type Cluster struct {
 
 	schedPlugins  []SchedulerPlugin
 	workerPlugins []WorkerPlugin
+
+	// proxy is the pass-by-reference data plane; nil when
+	// cfg.ProxyThresholdBytes == 0 (direct transfers only).
+	proxy *proxyPlane
+
+	// controlBytes accumulates every byte that crosses the scheduler's
+	// control path — control messages, proxy references, and (in direct mode)
+	// gathered payloads relayed through the scheduler. The proxy benchmark
+	// compares this between data planes.
+	controlBytes int64
 }
 
 // NewCluster builds the deployment. fs may be nil for workloads that never
@@ -33,6 +43,9 @@ type Cluster struct {
 func NewCluster(k *sim.Kernel, plat *platform.Cluster, fs *posixio.FS, cfg Config, tracers TracerFactory) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{cfg: cfg, kernel: k, plat: plat, fs: fs}
+	if cfg.ProxyThresholdBytes > 0 {
+		c.proxy = newProxyPlane(c)
+	}
 	schedNode := plat.Node(cfg.SchedulerNode % len(plat.Nodes()))
 	c.scheduler = newScheduler(c, schedNode)
 	c.client = newClient(c, schedNode)
@@ -112,8 +125,16 @@ func (c *Cluster) RestartWorker(rank int) {
 // control models a small control-plane message between two nodes, invoking
 // handle on arrival.
 func (c *Cluster) control(from, to *platform.Node, handle func()) {
+	c.addControlBytes(c.cfg.ControlMessageBytes)
 	c.plat.Transfer(from, to, c.cfg.ControlMessageBytes, func(sim.Time) { handle() })
 }
+
+// addControlBytes charges n bytes to the scheduler control path.
+func (c *Cluster) addControlBytes(n int64) { c.controlBytes += n }
+
+// ControlPathBytes reports the cumulative bytes moved over the scheduler
+// control path so far.
+func (c *Cluster) ControlPathBytes() int64 { return c.controlBytes }
 
 // workerAddr formats the Dask-style address of a worker.
 func workerAddr(hostname string, rank int) string {

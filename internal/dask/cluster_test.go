@@ -22,6 +22,7 @@ type recorder struct {
 	heartbeats  []WorkerMetrics
 	steals      []StealEvent
 	graphsDone  []int
+	proxyEvents []ProxyEvent
 }
 
 func (r *recorder) TaskAdded(m TaskMeta)             { r.metas = append(r.metas, m) }
@@ -33,6 +34,7 @@ func (r *recorder) TaskExecuted(rec TaskExecution)   { r.execs = append(r.execs,
 func (r *recorder) TransferReceived(rec Transfer)    { r.transfers = append(r.transfers, rec) }
 func (r *recorder) WorkerWarning(w Warning)          { r.warnings = append(r.warnings, w) }
 func (r *recorder) Heartbeat(m WorkerMetrics)        { r.heartbeats = append(r.heartbeats, m) }
+func (r *recorder) ProxyEvent(ev ProxyEvent)         { r.proxyEvents = append(r.proxyEvents, ev) }
 
 type testEnv struct {
 	k   *sim.Kernel

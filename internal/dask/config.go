@@ -65,6 +65,19 @@ type Config struct {
 	// transfers near the start of a workflow are disproportionately slow
 	// (the paper's Fig. 5 observation).
 	ConnectionSetup sim.Time
+
+	// ProxyThresholdBytes enables the pass-by-reference data plane: task
+	// outputs at or above this size are published to the Warabi-backed proxy
+	// store and dependencies ship as small references resolved peer-to-peer
+	// at first use. Zero (the default) disables the proxy store entirely —
+	// behavior is identical to the direct data plane.
+	ProxyThresholdBytes int64
+	// ProxyPrefetch resolves proxied dependencies eagerly at assignment time
+	// instead of lazily at first use.
+	ProxyPrefetch bool
+	// ProxyRefBytes is the wire size of one proxy reference riding a control
+	// message (default 128 when the proxy store is enabled).
+	ProxyRefBytes int64
 }
 
 // DefaultConfig returns the paper's job configuration: 4 workers per node
@@ -131,6 +144,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ConnectionSetup <= 0 {
 		c.ConnectionSetup = d.ConnectionSetup
+	}
+	if c.ProxyThresholdBytes < 0 {
+		c.ProxyThresholdBytes = 0
+	}
+	if c.ProxyThresholdBytes > 0 && c.ProxyRefBytes <= 0 {
+		c.ProxyRefBytes = 128
 	}
 	return c
 }

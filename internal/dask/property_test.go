@@ -193,3 +193,109 @@ func TestSchedulerScales(t *testing.T) {
 		t.Fatalf("stress run took %.1fs of real time", float64(el)/1e9)
 	}
 }
+
+// TestRandomDAGsSurviveWorkerKills is the chaos property: random DAGs run
+// with the pass-by-reference data plane enabled while a random kill/restart
+// schedule takes workers down mid-flight. Whatever the schedule, after the
+// run quiesces three invariants must hold: every key the scheduler reports
+// in memory has at least one live holder; no task is stranded in waiting or
+// processing; and the proxy store's refcounts and resident bytes reconcile
+// with the recorded event stream.
+func TestRandomDAGsSurviveWorkerKills(t *testing.T) {
+	const trials = 8
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			seed := uint64(7000 + trial)
+			gen := sim.NewRNG(seed).Split("chaos")
+			g := randomDAG(1, gen.Split("dag"), gen.IntBetween(3, 5), 8)
+			env := newEnv(seed, proxyCfg(1<<17))
+
+			// One or two distinct ranks die at random times; each restarts a
+			// few seconds later so per-task retry budgets are never exhausted
+			// (a task can lose its worker at most once per victim).
+			kills := gen.IntBetween(1, 2)
+			ranks := gen.Perm(len(env.c.Workers()))[:kills]
+			var lastRestart sim.Time
+			for _, r := range ranks {
+				r := r
+				killAt := sim.Seconds(gen.Uniform(1, 6))
+				restartAt := killAt + sim.Seconds(gen.Uniform(2, 4))
+				env.k.At(killAt, func() { env.c.KillWorker(r) })
+				env.k.At(restartAt, func() { env.c.RestartWorker(r) })
+				if restartAt > lastRestart {
+					lastRestart = restartAt
+				}
+			}
+
+			env.runWorkflow(func(p *sim.Proc, cl *Client) {
+				cl.SubmitAndWait(p, g)
+				if e := cl.GraphError(1); e != "" {
+					t.Errorf("graph erred: %s", e)
+				}
+				// Quiesce past the whole kill schedule: a short graph can
+				// finish before the last kill/restart fires, and TTL sweeps,
+				// rejoins, and refcount releases need time to settle.
+				settle := env.c.cfg.WorkerTTL + sim.Seconds(2)
+				deadline := lastRestart + settle
+				if d := deadline - env.k.Now(); d > settle {
+					p.Sleep(d)
+				} else {
+					p.Sleep(settle)
+				}
+			})
+
+			sched := env.c.Scheduler()
+			for _, k := range g.Keys() {
+				switch st := sched.TaskState(k); st {
+				case StateMemory:
+					holders := 0
+					for _, w := range env.c.Workers() {
+						if w.Alive() && w.HasData(k) {
+							holders++
+						}
+					}
+					if holders == 0 {
+						t.Errorf("task %s in memory with no live holder", k)
+					}
+				case StateWaiting, StateProcessing:
+					t.Errorf("task %s stuck in %q after quiescence", k, st)
+				}
+			}
+
+			// Proxy store invariants: no blob outlives its owner, refcounts
+			// never go negative, and the published/released/resident balance
+			// from the event stream matches the store's live footprint.
+			store := env.c.ProxyStore()
+			for _, key := range store.Keys() {
+				if refs := store.Refs(key); refs < 0 {
+					t.Errorf("blob %s has negative refcount %d", key, refs)
+				}
+				ref, ok := store.Resolve(key)
+				if !ok {
+					continue
+				}
+				if w := env.c.Workers()[ref.Owner]; !w.Alive() {
+					t.Errorf("blob %s owned by dead worker %d", key, ref.Owner)
+				}
+			}
+			st := env.c.ProxyStats()
+			if st.Resident < 0 {
+				t.Errorf("negative resident bytes: %+v", st)
+			}
+			var published, released int64
+			for _, ev := range env.rec.proxyEvents {
+				switch ev.Op {
+				case ProxyOpPublish:
+					published += ev.Bytes
+				case ProxyOpFree, ProxyOpReclaim:
+					released += ev.Bytes
+				}
+			}
+			if published != released+st.Resident {
+				t.Errorf("resident delta stream unbalanced: published %d, released %d, resident %d",
+					published, released, st.Resident)
+			}
+		})
+	}
+}

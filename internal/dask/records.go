@@ -65,7 +65,10 @@ type TaskExecution struct {
 }
 
 // Transfer is one dependency movement between workers (an "incoming
-// communication" at the destination, the unit counted in Table I).
+// communication" at the destination, the unit counted in Table I). With the
+// proxy store enabled, transfers that resolved a pass-by-reference blob
+// carry ViaProxy and the latency between first use (demand) and payload
+// arrival.
 type Transfer struct {
 	Key      TaskKey  `json:"key"`
 	From     string   `json:"from"` // source worker address
@@ -74,6 +77,38 @@ type Transfer struct {
 	Start    sim.Time `json:"start"`
 	Stop     sim.Time `json:"stop"`
 	SameNode bool     `json:"same_node"`
+	// ViaProxy marks a transfer that fetched a proxy-store blob peer-to-peer
+	// instead of a directly shipped dependency.
+	ViaProxy bool `json:"via_proxy,omitempty"`
+	// ResolveLatency is demand-to-arrival time for a proxied dependency: how
+	// long the consumer waited between first needing the value and holding
+	// it (connection setup + transfer, measured from lazy-resolution start).
+	ResolveLatency sim.Time `json:"resolve_latency,omitempty"`
+}
+
+// Proxy-store operation names carried by ProxyEvent records.
+const (
+	ProxyOpPublish = "publish" // producer registered a blob
+	ProxyOpResolve = "resolve" // consumer resolved a reference (hit)
+	ProxyOpMiss    = "miss"    // reference dangled: blob reclaimed or absent
+	ProxyOpFree    = "free"    // refcount drained or scheduler freed the blob
+	ProxyOpReclaim = "reclaim" // owner died; blobs swept at eviction
+)
+
+// ProxyEvent is one pass-by-reference store operation, streamed to the
+// proxy-store provenance topic: the per-blob story (publish, resolve, miss,
+// free, reclaim) plus the store's resident footprint after the operation.
+type ProxyEvent struct {
+	Op     string  `json:"op"`
+	Key    TaskKey `json:"key"`
+	Worker string  `json:"worker"` // acting worker address ("scheduler" for frees/reclaims)
+	Bytes  int64   `json:"bytes"`  // logical payload bytes of the blob
+	// Resident is the store's total logical bytes after this operation — the
+	// live resident-bytes lane is a running join of this field.
+	Resident int64 `json:"resident"`
+	// ResolveLatency mirrors the Transfer field for resolve operations.
+	ResolveLatency sim.Time `json:"resolve_latency,omitempty"`
+	At             sim.Time `json:"at"`
 }
 
 // WarningKind classifies runtime warnings scraped from worker/scheduler
@@ -105,13 +140,17 @@ const (
 	// WarnProducerDegraded: a Mofka producer ran degraded (buffering and
 	// retrying) while the broker was unreachable, then recovered.
 	WarnProducerDegraded WarningKind = "producer_degraded"
+	// WarnBlobReclaimed: proxy-store blobs owned by a dead worker were
+	// swept during eviction; dangling references miss and drive
+	// recomputation.
+	WarnBlobReclaimed WarningKind = "proxy_blob_reclaimed"
 )
 
 // IsRecovery reports whether the kind is one of the failure/recovery events
 // (as opposed to the paper's runtime-pathology warnings).
 func (k WarningKind) IsRecovery() bool {
 	switch k {
-	case WarnWorkerLost, WarnWorkerRejoined, WarnTaskRescheduled, WarnKeyRecomputed, WarnProducerDegraded:
+	case WarnWorkerLost, WarnWorkerRejoined, WarnTaskRescheduled, WarnKeyRecomputed, WarnProducerDegraded, WarnBlobReclaimed:
 		return true
 	}
 	return false
@@ -160,6 +199,7 @@ type WorkerPlugin interface {
 	TransferReceived(rec Transfer)
 	WorkerWarning(w Warning)
 	Heartbeat(m WorkerMetrics)
+	ProxyEvent(ev ProxyEvent)
 }
 
 // NopSchedulerPlugin is an embeddable no-op SchedulerPlugin.
@@ -194,3 +234,6 @@ func (NopWorkerPlugin) WorkerWarning(Warning) {}
 
 // Heartbeat implements WorkerPlugin.
 func (NopWorkerPlugin) Heartbeat(WorkerMetrics) {}
+
+// ProxyEvent implements WorkerPlugin.
+func (NopWorkerPlugin) ProxyEvent(ProxyEvent) {}

@@ -72,6 +72,11 @@ type schedTask struct {
 	processingOn int              // rank, valid in StateProcessing
 	size         int64
 
+	// viaProxy marks a result published to the proxy store: dependents
+	// receive a reference instead of a payload, and the blob's refcount
+	// mirrors pendingDependents (+1 while the result is a held output).
+	viaProxy bool
+
 	pendingDependents int
 	isOutput          bool
 
@@ -278,6 +283,15 @@ func (s *Scheduler) evictWorker(wh *workerHandle, reason string) {
 	s.emitRecovery(WarnWorkerLost, addr, host,
 		fmt.Sprintf("worker %s declared dead (%s); evicting", addr, reason))
 
+	// Sweep the dead worker's proxy blobs before re-planning: references to
+	// them now dangle, and the recompute pass below republishes what is
+	// still needed under a new owner.
+	if s.c.proxy != nil {
+		if blobs, bytes := s.c.proxy.reclaimWorker(wh.rank, addr); blobs > 0 {
+			s.emitRecovery(WarnBlobReclaimed, addr, host, reclaimMessage(addr, blobs, bytes))
+		}
+	}
+
 	// Collect affected tasks and process them in priority order (priorities
 	// follow topological submission order, so lost dependencies are handled
 	// before the tasks that consume them). Never iterate the raw task map:
@@ -365,6 +379,10 @@ func (s *Scheduler) reviveReleased(ts *schedTask) {
 		dt.pendingDependents++
 		addDependent(dt, ts.spec.Key)
 		if dt.state == StateMemory {
+			if dt.viaProxy {
+				// Mirror the re-taken refcount on the live blob.
+				s.c.proxy.retain(d, 1)
+			}
 			continue
 		}
 		ts.waitingOn[d] = struct{}{}
@@ -502,6 +520,10 @@ func (s *Scheduler) handleGraph(g *Graph) {
 			if dt.state != StateMemory {
 				ts.waitingOn[d] = struct{}{}
 				dt.dependents = append(dt.dependents, ts.spec.Key)
+			} else if dt.viaProxy {
+				// Cross-graph dependency on a live blob: mirror the new
+				// dependent on its refcount.
+				s.c.proxy.retain(d, 1)
 			}
 		}
 	}
@@ -678,7 +700,12 @@ func (s *Scheduler) assign(ts *schedTask, wh *workerHandle, stimulus string) {
 		for r := range dt.whoHas {
 			holders = append(holders, r)
 		}
-		deps = append(deps, depInfo{key: d, size: dt.size, holders: holders})
+		deps = append(deps, depInfo{key: d, size: dt.size, holders: holders, viaProxy: dt.viaProxy})
+		if dt.viaProxy {
+			// The assignment carries a proxy reference instead of a payload
+			// location set the worker must pull through eagerly.
+			s.c.addControlBytes(s.c.cfg.ProxyRefBytes)
+		}
 	}
 	a := assignment{spec: ts.spec, graphID: ts.graphID, priority: ts.priority, deps: deps}
 	s.c.control(s.node, wh.w.node, func() { wh.w.handleAssign(a) })
@@ -748,8 +775,9 @@ func (s *Scheduler) finishGraphTask(graphID int) {
 	s.c.control(s.node, s.c.client.node, func() { s.c.client.graphDone(graphID, errMsg) })
 }
 
-// handleFinished processes a worker's task-completion report.
-func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Time) {
+// handleFinished processes a worker's task-completion report. proxied marks
+// a result published to the proxy store instead of shipped directly.
+func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Time, proxied bool) {
 	ts, ok := s.tasks[key]
 	if !ok || ts.state != StateProcessing || ts.processingOn != rank {
 		return // stale report (e.g. task was stolen mid-flight)
@@ -767,9 +795,19 @@ func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Ti
 	s.prefixDur[pfx].add(dur)
 
 	ts.size = size
+	ts.viaProxy = proxied
 	ts.whoHas[rank] = struct{}{}
 	wh.memory += size
 	s.transition(ts, StateMemory, "task-finished")
+	if proxied {
+		// Mirror the scheduler's dependent refcount onto the blob, plus one
+		// reference pinning graph outputs until the client lets go.
+		n := ts.pendingDependents
+		if ts.isOutput {
+			n++
+		}
+		s.c.proxy.retain(key, n)
+	}
 
 	for _, dep := range ts.dependents {
 		dt := s.tasks[dep]
@@ -783,6 +821,9 @@ func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Ti
 	for _, d := range ts.spec.Deps {
 		dt := s.tasks[d]
 		dt.pendingDependents--
+		if dt.viaProxy {
+			s.c.proxy.release(d)
+		}
 		if dt.pendingDependents <= 0 && !dt.isOutput && dt.state == StateMemory {
 			s.release(dt)
 		}
@@ -811,7 +852,80 @@ func (s *Scheduler) release(ts *schedTask) {
 		s.c.control(s.node, w.node, func() { w.handleFree(key) })
 	}
 	ts.whoHas = make(map[int]struct{})
+	if ts.viaProxy {
+		// The refcount drain above normally destroyed the blob already; this
+		// covers paths that free a key without draining references.
+		s.c.proxy.free(key)
+	}
 	s.transition(ts, StateReleased, "no-dependents")
+}
+
+// handleGather serves one client gather request. In the direct data plane
+// the payload relays through the scheduler process — Dask's
+// gather(direct=False) default — charging its full size to the control path
+// twice (owner -> scheduler, scheduler -> client). With the proxy store the
+// scheduler replies with the blob reference and the client pulls the payload
+// peer-to-peer from the owner, so the control path carries only
+// ProxyRefBytes. A key not (yet, or no longer) in memory polls until the
+// recompute machinery lands it; an erred key delivers zero bytes.
+func (s *Scheduler) handleGather(key TaskKey, deliver func(size int64)) {
+	retry := func() {
+		s.c.kernel.After(sim.Milliseconds(100), func() { s.handleGather(key, deliver) })
+	}
+	ts, ok := s.tasks[key]
+	if !ok || ts.state == StateErred {
+		s.c.control(s.node, s.c.client.node, func() { deliver(0) })
+		return
+	}
+	if ts.state != StateMemory {
+		retry()
+		return
+	}
+	rank := -1
+	for r := range ts.whoHas {
+		if rank < 0 || r < rank {
+			rank = r
+		}
+	}
+	if rank < 0 {
+		retry()
+		return
+	}
+	owner := s.workers[rank]
+	if !owner.connected || !owner.w.alive {
+		// Holder died but eviction has not caught up; the recompute pass
+		// will land the key somewhere alive.
+		retry()
+		return
+	}
+	size := ts.size
+	if ts.viaProxy {
+		s.c.addControlBytes(s.c.cfg.ProxyRefBytes)
+		s.c.control(s.node, s.c.client.node, func() {
+			demand := s.c.kernel.Now()
+			s.c.plat.Transfer(owner.w.node, s.c.client.node, size, func(sim.Time) {
+				stop := s.c.kernel.Now()
+				rec := Transfer{
+					Key: key, From: owner.w.addr, To: "client", Bytes: size,
+					Start: demand, Stop: stop, SameNode: owner.w.node == s.c.client.node,
+					ViaProxy: true, ResolveLatency: stop - demand,
+				}
+				for _, p := range s.c.workerPlugins {
+					p.TransferReceived(rec)
+				}
+				s.c.proxy.resolved(key, "client", size, stop-demand)
+				deliver(size)
+			})
+		})
+		return
+	}
+	s.c.addControlBytes(size)
+	s.c.plat.Transfer(owner.w.node, s.node, size, func(sim.Time) {
+		s.c.addControlBytes(size)
+		s.c.plat.Transfer(s.node, s.c.client.node, size, func(sim.Time) {
+			deliver(size)
+		})
+	})
 }
 
 // stealTick is the work-stealing loop: idle workers take queued (not yet

@@ -18,6 +18,11 @@ type depInfo struct {
 	key     TaskKey
 	size    int64
 	holders []int // worker ranks
+	// viaProxy marks a dependency published to the proxy store: the
+	// assignment carries only a reference, and the payload is resolved
+	// peer-to-peer from the blob owner (lazily at first use, or eagerly
+	// when ProxyPrefetch is set).
+	viaProxy bool
 }
 
 // wTask is the worker-side task state.
@@ -28,6 +33,9 @@ type wTask struct {
 	state    TaskState
 	missing  int // dependency fetches still in flight
 	stolen   bool
+	// lazy holds proxied dependencies whose payloads have not been demanded
+	// yet; they resolve when the task reaches the front of the ready queue.
+	lazy []depInfo
 }
 
 // Worker executes tasks on a fixed pool of threads, fetches remote
@@ -219,8 +227,17 @@ func (w *Worker) handleAssign(a assignment) {
 		if _, local := w.data[d.key]; local {
 			continue
 		}
+		if d.viaProxy && !w.c.cfg.ProxyPrefetch {
+			// Pass-by-reference: defer the payload fetch until first use.
+			wt.lazy = append(wt.lazy, d)
+			continue
+		}
 		wt.missing++
-		w.fetchDep(d, wt)
+		if d.viaProxy {
+			w.fetchProxy(d, wt)
+		} else {
+			w.fetchDep(d, wt)
+		}
 	}
 	if wt.missing == 0 {
 		w.makeReady(wt, "all-deps-local")
@@ -294,6 +311,84 @@ func (w *Worker) fetchDep(d depInfo, wt *wTask) {
 	})
 }
 
+// fetchProxy resolves a proxied dependency: it looks the reference up in the
+// store, then pulls the payload peer-to-peer from the blob's owner. A
+// dangling reference (blob reclaimed after the owner died) or a stale owner
+// incarnation falls back to the missing-data recovery path, exactly like a
+// direct fetch from a crashed holder. Concurrent demands for the same key
+// share one transfer through the same fetching map as direct fetches.
+func (w *Worker) fetchProxy(d depInfo, wt *wTask) {
+	if waiters, inFlight := w.fetching[d.key]; inFlight {
+		w.fetching[d.key] = append(waiters, wt)
+		return
+	}
+	w.fetching[d.key] = []*wTask{wt}
+	if len(d.holders) == 0 {
+		panic("dask: proxied dependency " + string(d.key) + " has no holders")
+	}
+	demand := w.c.kernel.Now()
+	ref, ok := w.c.proxy.resolve(d.key, w.addr)
+	if !ok {
+		// Dangling reference: the blob was reclaimed (its owner died and the
+		// scheduler swept it) between assignment and first use.
+		w.abortFetch(d.key, d.holders[0])
+		return
+	}
+	src := w.c.workers[ref.Owner]
+	if !src.alive || src.incarnation != ref.Incarnation || !src.HasData(d.key) {
+		// The reference is fenced to the publishing incarnation; a restarted
+		// owner no longer holds the payload.
+		w.abortFetch(d.key, src.rank)
+		return
+	}
+	inc, srcInc := w.incarnation, src.incarnation
+	setup := sim.Time(0)
+	if !w.peers[src.rank] {
+		w.peers[src.rank] = true
+		setup = w.rng.JitterTime(w.c.cfg.ConnectionSetup, 0.4)
+	}
+	w.c.kernel.After(setup, func() {
+		if !w.alive || w.incarnation != inc {
+			return
+		}
+		if !src.alive || src.incarnation != srcInc || !src.HasData(d.key) {
+			w.abortFetch(d.key, src.rank)
+			return
+		}
+		wireStart := w.c.kernel.Now()
+		w.c.plat.Transfer(src.node, w.node, ref.Size, func(sim.Time) {
+			if !w.alive || w.incarnation != inc {
+				return
+			}
+			if !src.alive || src.incarnation != srcInc {
+				w.abortFetch(d.key, src.rank)
+				return
+			}
+			stop := w.c.kernel.Now()
+			w.data[d.key] = ref.Size
+			w.memBytes += ref.Size
+			w.transferCount++
+			rec := Transfer{
+				Key: d.key, From: src.addr, To: w.addr, Bytes: ref.Size,
+				Start: wireStart, Stop: stop, SameNode: src.node == w.node,
+				ViaProxy: true, ResolveLatency: stop - demand,
+			}
+			for _, p := range w.c.workerPlugins {
+				p.TransferReceived(rec)
+			}
+			w.c.proxy.resolved(d.key, w.addr, ref.Size, stop-demand)
+			waiters := w.fetching[d.key]
+			delete(w.fetching, d.key)
+			for _, waiter := range waiters {
+				waiter.missing--
+				if waiter.missing == 0 && w.tasks[waiter.spec.Key] == waiter {
+					w.makeReady(waiter, "deps-arrived")
+				}
+			}
+		})
+	})
+}
+
 // abortFetch gives up on an in-flight dependency fetch whose source worker
 // crashed. The tasks waiting on the dependency cannot run here with the
 // holder snapshot they were assigned, so the worker surrenders them and
@@ -338,9 +433,41 @@ func (w *Worker) dispatch() {
 	}
 	for len(w.freeThreads) > 0 && w.ready.Len() > 0 {
 		wt := w.ready.popTask()
+		if len(wt.lazy) > 0 {
+			// First use of the task's pass-by-reference dependencies: demand
+			// the payloads now; the task re-enters the ready queue when they
+			// arrive.
+			w.resolveLazy(wt)
+			continue
+		}
 		slot := w.freeThreads[len(w.freeThreads)-1]
 		w.freeThreads = w.freeThreads[:len(w.freeThreads)-1]
 		w.execute(wt, slot)
+	}
+}
+
+// resolveLazy demands the payloads of a task's deferred proxied
+// dependencies. Payloads that landed in the meantime (another task on this
+// worker demanded the same key) are skipped; if everything is already local
+// the task goes straight back to ready.
+func (w *Worker) resolveLazy(wt *wTask) {
+	lazy := wt.lazy
+	wt.lazy = nil
+	var needed []depInfo
+	for _, d := range lazy {
+		if _, local := w.data[d.key]; local {
+			continue
+		}
+		needed = append(needed, d)
+	}
+	if len(needed) == 0 {
+		w.makeReady(wt, "proxy-deps-local")
+		return
+	}
+	wt.missing = len(needed)
+	w.transition(wt, WStateFetching, "proxy-resolve")
+	for _, d := range needed {
+		w.fetchProxy(d, wt)
 	}
 }
 
@@ -401,8 +528,16 @@ func (w *Worker) execute(wt *wTask, slot int) {
 		w.freeThreads = append(w.freeThreads, slot)
 		w.dispatch()
 		key, size, dur := wt.spec.Key, ctx.outputSize, stop-start
+		proxied := false
+		if w.c.proxy != nil && size >= w.c.cfg.ProxyThresholdBytes {
+			// Publish the output as a pass-by-reference blob owned by this
+			// incarnation; the completion report ships only the reference.
+			proxied = true
+			w.c.proxy.publish(key, w.rank, inc, size, w.addr)
+			w.c.addControlBytes(w.c.cfg.ProxyRefBytes)
+		}
 		w.c.control(w.node, w.c.scheduler.node, func() {
-			w.c.scheduler.handleFinished(w.rank, key, size, dur)
+			w.c.scheduler.handleFinished(w.rank, key, size, dur, proxied)
 		})
 	})
 }

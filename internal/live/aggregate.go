@@ -109,6 +109,32 @@ type RecoveryEvent struct {
 	Message string  `json:"message,omitempty"`
 }
 
+// ProxyStats aggregates the pass-by-reference data-plane topic: the proxy
+// store's blob lifecycle (publish, resolve, miss, free, reclaim — see
+// internal/proxystore) plus the store's resident footprint. ResidentBytes is
+// reconstructed as a pure delta sum (published minus freed/reclaimed bytes),
+// and PeakResidentBytes as a max over per-event snapshots — both commute, so
+// the lane is deterministic regardless of partition consumption order.
+type ProxyStats struct {
+	Publishes int64 `json:"publishes"`
+	Resolves  int64 `json:"resolves"` // reference hits (demand-fetch completed)
+	Misses    int64 `json:"misses"`   // dangling references (owner crashed)
+	Frees     int64 `json:"frees"`    // refcount drains and scheduler frees
+	Reclaims  int64 `json:"reclaims"` // blobs swept when their owner died
+
+	PublishedBytes int64 `json:"published_bytes"`
+	ResolvedBytes  int64 `json:"resolved_bytes"`
+	ReclaimedBytes int64 `json:"reclaimed_bytes"`
+
+	ResidentBytes     int64 `json:"resident_bytes"`
+	PeakResidentBytes int64 `json:"peak_resident_bytes"`
+
+	// ResolveSeconds is the summed demand-to-arrival latency across
+	// resolves; MeanResolveSeconds divides by Resolves.
+	ResolveSeconds     float64 `json:"resolve_seconds"`
+	MeanResolveSeconds float64 `json:"mean_resolve_seconds"`
+}
+
 // HostIOStats aggregates Darshan POSIX counters per hostname (Darshan logs
 // are keyed by host, not by WMS worker name — the paper fuses the two layers
 // on hostname).
@@ -182,6 +208,10 @@ type Summary struct {
 	// RecoveryEventCap, empty for single-broker runs.
 	ClusterHealth []RecoveryEvent `json:"cluster_health,omitempty"`
 
+	// Proxy is the pass-by-reference data-plane lane; nil when the run
+	// streamed no proxy-store events (direct transfers only).
+	Proxy *ProxyStats `json:"proxy,omitempty"`
+
 	// ConsumerLag is the monitoring consumer's own backlog per
 	// "topic/partition" — events appended but not yet ingested. Zero
 	// entries are omitted; a fully drained monitor reports none. Set by
@@ -202,9 +232,10 @@ type laneKey struct {
 // lane holds the float sums whose addition order matters. One lane per
 // (topic, partition); merged in sorted key order at Snapshot.
 type lane struct {
-	commSeconds float64
-	execSeconds float64
-	workerExec  map[string]float64
+	commSeconds    float64
+	execSeconds    float64
+	resolveSeconds float64 // proxy demand-to-arrival latency sums
+	workerExec     map[string]float64
 }
 
 // groupAcc accumulates one task group's duration samples.
@@ -241,6 +272,10 @@ type Aggregator struct {
 	workers   map[string]*WorkerStats
 	hostIO    map[string]*HostIOStats
 	warnings  map[string]int
+
+	// proxy holds the integer counters of the proxy-store lane (nil until
+	// the first proxy event); its float ResolveSeconds lives in the lanes.
+	proxy *ProxyStats
 
 	recovery []RecoveryEvent
 	cluster  []RecoveryEvent
@@ -394,6 +429,34 @@ func (a *Aggregator) IngestEvent(topic string, partition int, m mofka.Metadata) 
 		}
 		a.windows.addWarning(at, kind)
 		raised = a.detect.onWarning(kind, w.Worker, at)
+	case provenance.TopicProxy:
+		e := provenance.ParseProxyEvent(m)
+		if a.proxy == nil {
+			a.proxy = &ProxyStats{}
+		}
+		p := a.proxy
+		switch e.Op {
+		case dask.ProxyOpPublish:
+			p.Publishes++
+			p.PublishedBytes += e.Bytes
+			p.ResidentBytes += e.Bytes
+		case dask.ProxyOpResolve:
+			p.Resolves++
+			p.ResolvedBytes += e.Bytes
+			a.lane(topic, partition).resolveSeconds += e.ResolveLatency.Seconds()
+		case dask.ProxyOpMiss:
+			p.Misses++
+		case dask.ProxyOpFree:
+			p.Frees++
+			p.ResidentBytes -= e.Bytes
+		case dask.ProxyOpReclaim:
+			p.Reclaims++
+			p.ReclaimedBytes += e.Bytes
+			p.ResidentBytes -= e.Bytes
+		}
+		if e.Resident > p.PeakResidentBytes {
+			p.PeakResidentBytes = e.Resident
+		}
 	case provenance.TopicTaskMeta:
 		a.submitted++
 	case provenance.TopicGraphs:
@@ -512,13 +575,23 @@ func (a *Aggregator) Snapshot() Summary {
 		return keys[i].part < keys[j].part
 	})
 	workerExec := make(map[string]float64)
+	var resolveSeconds float64
 	for _, k := range keys {
 		l := a.lanes[k]
 		s.RawCommSeconds += l.commSeconds
 		s.RawExecSeconds += l.execSeconds
+		resolveSeconds += l.resolveSeconds
 		for w, v := range l.workerExec {
 			workerExec[w] += v // one lane per (topic,part): inner order free
 		}
+	}
+	if a.proxy != nil {
+		p := *a.proxy
+		p.ResolveSeconds = resolveSeconds
+		if p.Resolves > 0 {
+			p.MeanResolveSeconds = p.ResolveSeconds / float64(p.Resolves)
+		}
+		s.Proxy = &p
 	}
 
 	// Host I/O totals, merged in sorted host order.

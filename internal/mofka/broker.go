@@ -194,15 +194,15 @@ func (b *Broker) Close() error {
 		topics = append(topics, t)
 	}
 	b.mu.Unlock()
-	var firstErr error
+	var errs []error
 	for _, t := range topics {
 		for _, p := range t.partitions {
-			if err := p.close(); err != nil && firstErr == nil {
-				firstErr = err
+			if err := p.close(); err != nil {
+				errs = append(errs, err)
 			}
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // IsClosed reports whether Close has been called. Long-lived consumers (the
@@ -222,17 +222,17 @@ func (b *Broker) Sync() error {
 		topics = append(topics, t)
 	}
 	b.mu.RUnlock()
-	var firstErr error
+	var errs []error
 	for _, t := range topics {
 		for _, p := range t.partitions {
 			if p.log != nil {
-				if err := p.log.Sync(); err != nil && firstErr == nil {
-					firstErr = err
+				if err := p.log.Sync(); err != nil {
+					errs = append(errs, err)
 				}
 			}
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // CommitCursor durably records a consumer's next-unread offset. On a durable
@@ -412,22 +412,31 @@ func (p *Partition) appendBatch(metas [][]byte, datas [][]byte) error {
 	if p.topic.broker.readOnly {
 		return fmt.Errorf("%w: broker is read-only (post-mortem)", ErrClosed)
 	}
+	// Pre-encode every envelope before the batch touches the WAL or the
+	// document store: an encode error must leave nothing persisted and
+	// nothing visible, never a half-published batch.
+	region := p.topic.broker.data.CreateWrite(blob)
+	docs := make([][]byte, len(metas))
+	for i := range metas {
+		env := envelope{Meta: metas[i], Region: uint64(region), Offset: offsets[i], Size: int64(len(datas[i]))}
+		doc, err := json.Marshal(&env)
+		if err != nil {
+			err = fmt.Errorf("mofka: encode envelope: %w", err)
+			return errors.Join(err, p.topic.broker.data.Destroy(region))
+		}
+		docs[i] = doc
+	}
 	if p.log != nil {
 		recs := make([]wal.Record, len(metas))
 		for i := range metas {
 			recs[i] = wal.Record{Meta: metas[i], Data: datas[i]}
 		}
 		if _, err := p.log.AppendBatch(recs); err != nil {
-			return fmt.Errorf("mofka: wal append %s[%d]: %w", p.topic.cfg.Name, p.index, err)
+			err = fmt.Errorf("mofka: wal append %s[%d]: %w", p.topic.cfg.Name, p.index, err)
+			return errors.Join(err, p.topic.broker.data.Destroy(region))
 		}
 	}
-	region := p.topic.broker.data.CreateWrite(blob)
-	for i := range metas {
-		env := envelope{Meta: metas[i], Region: uint64(region), Offset: offsets[i], Size: int64(len(datas[i]))}
-		doc, err := json.Marshal(&env)
-		if err != nil {
-			return fmt.Errorf("mofka: encode envelope: %w", err)
-		}
+	for _, doc := range docs {
 		p.docs.Store(doc)
 		p.length++
 	}

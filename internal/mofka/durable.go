@@ -2,6 +2,7 @@ package mofka
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -174,11 +175,15 @@ func (b *Broker) recoverTopic(name string) error {
 			replayErr = ingestErr
 		}
 		if replayErr != nil {
-			l.Close()
-			return fmt.Errorf("mofka: replay %s[%d]: %w", name, i, replayErr)
+			err := fmt.Errorf("mofka: replay %s[%d]: %w", name, i, replayErr)
+			return errors.Join(err, l.Close())
 		}
 		if b.readOnly {
-			l.Close()
+			// A read-only recovery never appends, but a failed close still
+			// signals something wrong with the log files — surface it.
+			if err := l.Close(); err != nil {
+				return fmt.Errorf("mofka: close recovered log %s[%d]: %w", name, i, err)
+			}
 		} else {
 			p.log = l
 		}

@@ -119,12 +119,17 @@ func IOTimeline(art *core.RunArtifacts, bins int, smallCutoff int64) (string, er
 }
 
 // CommBucket summarizes transfers whose size falls in [LoBytes, HiBytes).
+// Proxied counts the bucket's pass-by-reference transfers and
+// MeanResolveSec averages their demand-to-arrival resolution latency —
+// the proxy-resolution view joined into the communication scatter.
 type CommBucket struct {
 	LoBytes, HiBytes     int64
 	Count                int
 	MeanSec, MaxSec      float64
 	P95Sec               float64
 	InterNode, IntraNode int
+	Proxied              int
+	MeanResolveSec       float64
 }
 
 // CommScatter produces the Fig. 5 view: transfer duration versus size,
@@ -139,12 +144,16 @@ func CommScatter(art *core.RunArtifacts) ([]CommBucket, error) {
 	}
 	type acc struct {
 		durs         []float64
+		resolves     []float64
 		inter, intra int
+		proxied      int
 	}
 	buckets := map[int]*acc{}
 	bytesCol := tr.Col("bytes")
 	durCol := tr.Col("duration")
 	sameCol := tr.Col("same_node")
+	proxyCol := tr.Col("via_proxy")
+	resolveCol := tr.Col("resolve_latency")
 	for i := 0; i < tr.NRows(); i++ {
 		b := bytesCol.Int(i)
 		idx := 0
@@ -162,6 +171,10 @@ func CommScatter(art *core.RunArtifacts) ([]CommBucket, error) {
 		} else {
 			a.inter++
 		}
+		if proxyCol.Bool(i) {
+			a.proxied++
+			a.resolves = append(a.resolves, resolveCol.Float(i))
+		}
 	}
 	var idxs []int
 	for i := range buckets {
@@ -172,11 +185,16 @@ func CommScatter(art *core.RunArtifacts) ([]CommBucket, error) {
 	for _, i := range idxs {
 		a := buckets[i]
 		_, max := MinMax(a.durs)
-		out = append(out, CommBucket{
+		cb := CommBucket{
 			LoBytes: 1 << i, HiBytes: 1 << (i + 1),
 			Count: len(a.durs), MeanSec: Mean(a.durs), MaxSec: max,
 			P95Sec: Percentile(a.durs, 95), InterNode: a.inter, IntraNode: a.intra,
-		})
+			Proxied: a.proxied,
+		}
+		if a.proxied > 0 {
+			cb.MeanResolveSec = Mean(a.resolves)
+		}
+		out = append(out, cb)
 	}
 	return out, nil
 }
@@ -184,10 +202,11 @@ func CommScatter(art *core.RunArtifacts) ([]CommBucket, error) {
 // RenderCommScatter formats the Fig. 5 buckets.
 func RenderCommScatter(buckets []CommBucket) string {
 	var sb strings.Builder
-	sb.WriteString("size-bucket            n     mean(s)   p95(s)    max(s)   inter/intra\n")
+	sb.WriteString("size-bucket            n     mean(s)   p95(s)    max(s)   inter/intra  proxied  resolve(s)\n")
 	for _, b := range buckets {
-		fmt.Fprintf(&sb, "[%9d,%9d) %-5d %-9.5f %-9.5f %-8.5f %d/%d\n",
-			b.LoBytes, b.HiBytes, b.Count, b.MeanSec, b.P95Sec, b.MaxSec, b.InterNode, b.IntraNode)
+		fmt.Fprintf(&sb, "[%9d,%9d) %-5d %-9.5f %-9.5f %-8.5f %-12s %-8d %.5f\n",
+			b.LoBytes, b.HiBytes, b.Count, b.MeanSec, b.P95Sec, b.MaxSec,
+			fmt.Sprintf("%d/%d", b.InterNode, b.IntraNode), b.Proxied, b.MeanResolveSec)
 	}
 	return sb.String()
 }

@@ -107,6 +107,8 @@ func TransfersView(art *core.RunArtifacts) (*frame.Frame, error) {
 	stop := make([]float64, n)
 	dur := make([]float64, n)
 	same := make([]bool, n)
+	viaProxy := make([]bool, n)
+	resolve := make([]float64, n)
 	for i, m := range metas {
 		t := core.ParseTransfer(m)
 		key[i] = string(t.Key)
@@ -117,6 +119,8 @@ func TransfersView(art *core.RunArtifacts) (*frame.Frame, error) {
 		stop[i] = t.Stop.Seconds()
 		dur[i] = (t.Stop - t.Start).Seconds()
 		same[i] = t.SameNode
+		viaProxy[i] = t.ViaProxy
+		resolve[i] = t.ResolveLatency.Seconds()
 	}
 	return frame.New(
 		frame.Strings("key", key...),
@@ -127,6 +131,46 @@ func TransfersView(art *core.RunArtifacts) (*frame.Frame, error) {
 		frame.Floats("stop", stop...),
 		frame.Floats("duration", dur...),
 		frame.Bools("same_node", same...),
+		frame.Bools("via_proxy", viaProxy...),
+		frame.Floats("resolve_latency", resolve...),
+	)
+}
+
+// ProxyView tabulates the pass-by-reference data-plane events: one row per
+// proxy-store operation (publish, resolve, miss, free, reclaim) with the
+// blob's logical size and the store's resident footprint after the
+// operation — the raw series behind the live resident-bytes lane.
+func ProxyView(art *core.RunArtifacts) (*frame.Frame, error) {
+	metas, err := core.DrainTopic(art.Broker, core.TopicProxy)
+	if err != nil {
+		return nil, err
+	}
+	n := len(metas)
+	op := make([]string, n)
+	key := make([]string, n)
+	worker := make([]string, n)
+	bytes := make([]int64, n)
+	resident := make([]int64, n)
+	resolve := make([]float64, n)
+	at := make([]float64, n)
+	for i, m := range metas {
+		e := core.ParseProxyEvent(m)
+		op[i] = e.Op
+		key[i] = string(e.Key)
+		worker[i] = e.Worker
+		bytes[i] = e.Bytes
+		resident[i] = e.Resident
+		resolve[i] = e.ResolveLatency.Seconds()
+		at[i] = e.At.Seconds()
+	}
+	return frame.New(
+		frame.Strings("op", op...),
+		frame.Strings("key", key...),
+		frame.Strings("worker", worker...),
+		frame.Ints("bytes", bytes...),
+		frame.Ints("resident", resident...),
+		frame.Floats("resolve_latency", resolve...),
+		frame.Floats("at", at...),
 	)
 }
 

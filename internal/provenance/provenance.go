@@ -29,6 +29,11 @@ const (
 	TopicSteals      = "steals"
 	TopicGraphs      = "graph-events"
 
+	// TopicProxy carries pass-by-reference data-plane operations: blob
+	// publishes, reference resolutions (with demand-to-arrival latency),
+	// misses on dangling references, frees, and crash reclaims.
+	TopicProxy = "proxy-store"
+
 	// TopicAnomalies carries the live monitor's online findings back into
 	// the event space, so anomalies are themselves provenance (see
 	// internal/live).
@@ -41,7 +46,7 @@ const (
 func AllTopics() []string {
 	return []string{
 		TopicTaskMeta, TopicTransitions, TopicExecutions, TopicTransfers,
-		TopicWarnings, TopicHeartbeats, TopicSteals, TopicGraphs,
+		TopicWarnings, TopicHeartbeats, TopicSteals, TopicGraphs, TopicProxy,
 	}
 }
 
@@ -77,11 +82,27 @@ func ExecutionEvent(e dask.TaskExecution) mofka.Metadata {
 	}
 }
 
-// TransferEvent encodes a Transfer as Mofka event metadata.
+// TransferEvent encodes a Transfer as Mofka event metadata. The proxy
+// dimensions ride along only when set, keeping direct-plane streams
+// byte-identical to pre-proxy runs.
 func TransferEvent(t dask.Transfer) mofka.Metadata {
-	return mofka.Metadata{
+	m := mofka.Metadata{
 		"key": string(t.Key), "from": t.From, "to": t.To, "bytes": t.Bytes,
 		"start": seconds(t.Start), "stop": seconds(t.Stop), "same_node": t.SameNode,
+	}
+	if t.ViaProxy {
+		m["via_proxy"] = true
+		m["resolve_latency"] = seconds(t.ResolveLatency)
+	}
+	return m
+}
+
+// ProxyEventMeta encodes a ProxyEvent as Mofka event metadata.
+func ProxyEventMeta(e dask.ProxyEvent) mofka.Metadata {
+	return mofka.Metadata{
+		"op": e.Op, "key": string(e.Key), "worker": e.Worker,
+		"bytes": e.Bytes, "resident": e.Resident,
+		"resolve_latency": seconds(e.ResolveLatency), "at": seconds(e.At),
 	}
 }
 
@@ -166,14 +187,30 @@ func ParseExecution(m mofka.Metadata) dask.TaskExecution {
 // ParseTransfer decodes metadata written by TransferEvent.
 func ParseTransfer(m mofka.Metadata) dask.Transfer {
 	sameNode, _ := m["same_node"].(bool)
+	viaProxy, _ := m["via_proxy"].(bool)
 	return dask.Transfer{
-		Key:      dask.TaskKey(Str(m, "key")),
-		From:     Str(m, "from"),
-		To:       Str(m, "to"),
-		Bytes:    int64(Num(m, "bytes")),
-		Start:    sim.Seconds(Num(m, "start")),
-		Stop:     sim.Seconds(Num(m, "stop")),
-		SameNode: sameNode,
+		Key:            dask.TaskKey(Str(m, "key")),
+		From:           Str(m, "from"),
+		To:             Str(m, "to"),
+		Bytes:          int64(Num(m, "bytes")),
+		Start:          sim.Seconds(Num(m, "start")),
+		Stop:           sim.Seconds(Num(m, "stop")),
+		SameNode:       sameNode,
+		ViaProxy:       viaProxy,
+		ResolveLatency: sim.Seconds(Num(m, "resolve_latency")),
+	}
+}
+
+// ParseProxyEvent decodes metadata written by ProxyEventMeta.
+func ParseProxyEvent(m mofka.Metadata) dask.ProxyEvent {
+	return dask.ProxyEvent{
+		Op:             Str(m, "op"),
+		Key:            dask.TaskKey(Str(m, "key")),
+		Worker:         Str(m, "worker"),
+		Bytes:          int64(Num(m, "bytes")),
+		Resident:       int64(Num(m, "resident")),
+		ResolveLatency: sim.Seconds(Num(m, "resolve_latency")),
+		At:             sim.Seconds(Num(m, "at")),
 	}
 }
 

@@ -15,14 +15,17 @@ import (
 )
 
 // result is one benchmark line. Fields absent from the input (e.g. MB/s
-// without -benchtime SetBytes) stay zero and are omitted.
+// without -benchtime SetBytes) stay zero and are omitted. Custom units
+// reported via b.ReportMetric (e.g. the proxy benchmark's control-B/op)
+// land in Extra keyed by their unit string.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_s,omitempty"`
-	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    float64            `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -57,6 +60,11 @@ func main() {
 				r.BytesPerOp = int64(v)
 			case "allocs/op":
 				r.AllocsPerOp = int64(v)
+			default:
+				if r.Extra == nil {
+					r.Extra = make(map[string]float64)
+				}
+				r.Extra[f[i+1]] = v
 			}
 		}
 		results = append(results, r)
