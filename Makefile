@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-cluster bench-proxy chaos cluster property fuzz verify
+.PHONY: build vet test race bench bench-cluster bench-proxy bench-whatif chaos cluster property fuzz whatif verify
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,22 @@ cluster:
 property:
 	$(GO) test -race -run 'TestRandomDAG' ./internal/dask/
 
+# What-if validation: self-replay of the unchanged scenario on the seeded
+# ImageProcessing and xgboost runs must predict the measured makespan within
+# +/-10%, the critical path must attribute >=95% of it to named categories,
+# and the report must render byte-identically across live/WAL/post-mortem
+# loads.
+whatif:
+	$(GO) test -count=1 -run 'TestSelfReplayValidation|TestCriticalPathAttribution' ./internal/whatif/
+	$(GO) test -count=1 -run 'TestCritPathGoldenDeterminism|TestCriticalPathLane' ./internal/perfrecup/ ./internal/live/
+
+# Critical-path and replay cost on a 20k-task DAG, recorded as JSON
+# (BENCH_whatif.json is checked in; regenerate after perf work).
+bench-whatif:
+	$(GO) test -run '^$$' -bench 'BenchmarkCriticalPath|BenchmarkWhatIfReplay|BenchmarkSlack' -benchmem ./internal/whatif/ \
+		| $(GO) run ./tools/benchjson > BENCH_whatif.json
+	cat BENCH_whatif.json
+
 # WAL crash-recovery fuzzing: replay the checked-in seed corpus, then fuzz
 # live for a short burst (arbitrary segment bytes must never panic recovery
 # and must keep exactly the valid frame prefix).
@@ -64,4 +80,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzWALRecover' -fuzztime 20s ./internal/mofka/wal/
 
 # Everything CI runs.
-verify: build vet test race chaos cluster property fuzz
+verify: build vet test race chaos cluster property fuzz whatif

@@ -13,6 +13,8 @@
 //	perfrecup warnings runs/xgboost-0001         (Fig. 7)
 //	perfrecup lineage  runs/xgboost-0001 -key "('getitem__get_categories-...', 63)"  (Fig. 8)
 //	perfrecup export   runs/xgboost-0001 -view executions > executions.csv
+//	perfrecup critpath runs/xgboost-0001             (bottleneck attribution)
+//	perfrecup whatif   runs/xgboost-0001 -scenario "workers=16 net=0.5"
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"taskprov/internal/core"
 	"taskprov/internal/darshan"
@@ -27,6 +30,7 @@ import (
 	"taskprov/internal/mofka/cluster"
 	"taskprov/internal/perfrecup"
 	"taskprov/internal/perfrecup/frame"
+	"taskprov/internal/whatif"
 )
 
 func main() {
@@ -72,8 +76,12 @@ func main() {
 		err = cmdProxy(args)
 	case "metadata":
 		err = cmdMetadata(args)
+	case "critpath":
+		err = cmdCritPath(args)
+	case "whatif":
+		err = cmdWhatIf(args)
 	default:
-		usage()
+		fmt.Fprintf(os.Stderr, "perfrecup: unknown command %q (valid: %s)\n", cmd, commandList)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -82,8 +90,12 @@ func main() {
 	}
 }
 
+// commandList is the one-line valid-command inventory printed on an unknown
+// command (and in the usage string) — keep it in sync with main's switch.
+const commandList = "table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|cluster|proxy|metadata|critpath|whatif"
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: perfrecup <table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|cluster|proxy|metadata> <run dir...> [flags]`)
+	fmt.Fprintf(os.Stderr, "usage: perfrecup <%s> <run dir...> [flags]\n", commandList)
 }
 
 // load accepts all artifact layouts: a run directory written by
@@ -288,42 +300,43 @@ func cmdLineage(args []string) error {
 	return nil
 }
 
+// exportViews maps -view names to their builders; exportViewNames keeps the
+// presentation order for the flag help and the unknown-view error.
+var exportViews = map[string]func(*core.RunArtifacts) (*frame.Frame, error){
+	"executions":  perfrecup.ExecutionsView,
+	"transitions": perfrecup.TransitionsView,
+	"transfers":   perfrecup.TransfersView,
+	"warnings":    perfrecup.WarningsView,
+	"dxt":         perfrecup.DXTView,
+	"posix":       perfrecup.PosixView,
+	"taskmeta":    perfrecup.TaskMetaView,
+	"heartbeats":  perfrecup.HeartbeatsView,
+	"taskio":      perfrecup.TaskIOSummary,
+	"proxy":       perfrecup.ProxyView,
+	"critpath":    perfrecup.CritPathView,
+}
+
+var exportViewNames = []string{
+	"executions", "transitions", "transfers", "warnings", "dxt", "posix",
+	"taskmeta", "heartbeats", "taskio", "proxy", "critpath",
+}
+
 func cmdExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ExitOnError)
-	view := fs.String("view", "executions", "executions|transitions|transfers|warnings|dxt|posix|taskmeta|heartbeats|taskio|proxy")
+	view := fs.String("view", "executions", strings.Join(exportViewNames, "|"))
 	dir := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
+	}
+	build, ok := exportViews[*view]
+	if !ok {
+		return fmt.Errorf("unknown view %q (valid: %s)", *view, strings.Join(exportViewNames, "|"))
 	}
 	art, err := load(dir)
 	if err != nil {
 		return err
 	}
-	var f *frame.Frame
-	switch *view {
-	case "executions":
-		f, err = perfrecup.ExecutionsView(art)
-	case "transitions":
-		f, err = perfrecup.TransitionsView(art)
-	case "transfers":
-		f, err = perfrecup.TransfersView(art)
-	case "warnings":
-		f, err = perfrecup.WarningsView(art)
-	case "dxt":
-		f, err = perfrecup.DXTView(art)
-	case "posix":
-		f, err = perfrecup.PosixView(art)
-	case "taskmeta":
-		f, err = perfrecup.TaskMetaView(art)
-	case "heartbeats":
-		f, err = perfrecup.HeartbeatsView(art)
-	case "taskio":
-		f, err = perfrecup.TaskIOSummary(art)
-	case "proxy":
-		f, err = perfrecup.ProxyView(art)
-	default:
-		return fmt.Errorf("unknown view %q", *view)
-	}
+	f, err := build(art)
 	if err != nil {
 		return err
 	}
@@ -397,7 +410,7 @@ func cmdDarshan(args []string) error {
 // cmdSVG writes a figure as an SVG file.
 func cmdSVG(args []string) error {
 	fs := flag.NewFlagSet("svg", flag.ExitOnError)
-	fig := fs.String("figure", "iotimeline", "iotimeline|comm|warnings|phases")
+	fig := fs.String("figure", "iotimeline", "iotimeline|comm|warnings|phases|critpath")
 	out := fs.String("o", "figure.svg", "output file")
 	bin := fs.Float64("bin", 100, "warning histogram bin (seconds)")
 	dir := args[0]
@@ -426,8 +439,10 @@ func cmdSVG(args []string) error {
 			return perr
 		}
 		svg = perfrecup.PhaseBarsSVG([]perfrecup.PhaseStats{perfrecup.AggregatePhases([]perfrecup.PhaseBreakdown{b})})
+	case "critpath":
+		svg, err = perfrecup.CritPathSVG(art)
 	default:
-		return fmt.Errorf("unknown figure %q", *fig)
+		return fmt.Errorf("unknown figure %q (valid: iotimeline|comm|warnings|phases|critpath)", *fig)
 	}
 	if err != nil {
 		return err
@@ -575,6 +590,74 @@ func maxFloat(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// cmdCritPath prints the run's critical path: makespan attribution by
+// category, the heaviest chain steps, and the full chain.
+func cmdCritPath(args []string) error {
+	art, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	out, err := perfrecup.RenderCritPath(art)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+// cmdWhatIf replays the run's calibrated model under perturbed scenarios
+// and prints the predicted makespan deltas. -scenario may repeat.
+func cmdWhatIf(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	var scenarios scenarioFlags
+	fs.Var(&scenarios, "scenario", `scenario spec, repeatable (e.g. "workers=8 net=0.5", "proxy=off", "baseline")`)
+	dir := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if len(scenarios) == 0 {
+		scenarios = scenarioFlags{whatif.Scenario{}}
+	}
+	art, err := load(dir)
+	if err != nil {
+		return err
+	}
+	model, err := art.ExtractModel()
+	if err != nil {
+		return err
+	}
+	var results []*whatif.Result
+	for _, s := range scenarios {
+		r, err := model.Replay(s)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	fmt.Print(perfrecup.RenderWhatIf(model, results))
+	return nil
+}
+
+// scenarioFlags collects repeated -scenario values.
+type scenarioFlags []whatif.Scenario
+
+func (f *scenarioFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, s := range *f {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (f *scenarioFlags) Set(v string) error {
+	s, err := whatif.ParseScenario(v)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, s)
+	return nil
 }
 
 // cmdMetadata prints the run's layered provenance chart (Fig. 1).

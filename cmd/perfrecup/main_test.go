@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"taskprov/internal/core"
@@ -54,7 +55,13 @@ func TestCLICommands(t *testing.T) {
 	if err := cmdLineage([]string{dir, "-prefix", "imread"}); err != nil {
 		t.Fatalf("lineage: %v", err)
 	}
-	for _, view := range []string{"executions", "transitions", "transfers", "warnings", "dxt", "posix", "taskmeta", "heartbeats", "taskio"} {
+	if err := cmdCritPath([]string{dir}); err != nil {
+		t.Fatalf("critpath: %v", err)
+	}
+	if err := cmdWhatIf([]string{dir, "-scenario", "baseline", "-scenario", "net=0.5 pfs=2"}); err != nil {
+		t.Fatalf("whatif: %v", err)
+	}
+	for _, view := range []string{"executions", "transitions", "transfers", "warnings", "dxt", "posix", "taskmeta", "heartbeats", "taskio", "critpath"} {
 		// Redirect stdout noise for the big CSVs.
 		old := os.Stdout
 		null, _ := os.Open(os.DevNull)
@@ -91,8 +98,16 @@ func TestCLILineageValidation(t *testing.T) {
 	if err := cmdLineage([]string{dir, "-key", "ghost"}); err == nil {
 		t.Fatal("lineage for unknown key accepted")
 	}
-	if err := cmdExport([]string{dir, "-view", "bogus"}); err == nil {
+	err := cmdExport([]string{dir, "-view", "bogus"})
+	if err == nil {
 		t.Fatal("unknown view accepted")
+	}
+	// The error must name the valid views so the user can self-correct.
+	if !strings.Contains(err.Error(), "valid:") || !strings.Contains(err.Error(), "critpath") {
+		t.Fatalf("unknown-view error does not list valid views: %v", err)
+	}
+	if err := cmdWhatIf([]string{dir, "-scenario", "workers=0"}); err == nil {
+		t.Fatal("invalid scenario accepted")
 	}
 }
 
@@ -114,7 +129,7 @@ func TestCLIWindowCompareDarshanSVG(t *testing.T) {
 		t.Fatalf("darshan: %v", err)
 	}
 	out := filepath.Join(t.TempDir(), "fig.svg")
-	for _, fig := range []string{"iotimeline", "comm", "warnings", "phases"} {
+	for _, fig := range []string{"iotimeline", "comm", "warnings", "phases", "critpath"} {
 		if err := cmdSVG([]string{dir, "-figure", fig, "-o", out}); err != nil {
 			t.Fatalf("svg %s: %v", fig, err)
 		}

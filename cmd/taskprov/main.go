@@ -10,6 +10,7 @@
 //	taskprov run -workflow imageprocessing -runs 10 -out runs/ip
 //	taskprov watch -data-dir runs-wal/xgb-0001 -http 127.0.0.1:9090
 //	taskprov watch -broker 127.0.0.1:7777 -once
+//	taskprov whatif -run runs/xgb-0001 -scenario "workers=16 net=0.5"
 //	taskprov list
 package main
 
@@ -17,9 +18,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -29,6 +32,7 @@ import (
 	"taskprov/internal/mofka"
 	"taskprov/internal/mofka/cluster"
 	"taskprov/internal/perfrecup"
+	"taskprov/internal/whatif"
 	"taskprov/internal/workloads"
 )
 
@@ -43,6 +47,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:], nil)
+	case "whatif":
+		err = cmdWhatIf(os.Args[2:], os.Stdout)
 	case "list":
 		err = cmdList()
 	default:
@@ -59,6 +65,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-cluster N] [-replication N] [-quorum N] [-live] [-live-http ADDR] [-chaos SPEC] [-proxy-threshold BYTES] [-proxy-prefetch] [-no-dxt] [-no-collect] [-no-steal]
   taskprov watch (-data-dir DIR | -broker ADDR) [-http ADDR] [-interval DUR] [-once] [-json]
+  taskprov whatif -run DIR [-scenario SPEC]... [-critpath] [-json]
   taskprov list`)
 }
 
@@ -300,6 +307,87 @@ func cmdWatch(args []string, started chan<- string) error {
 			}
 		}
 	}
+}
+
+// cmdWhatIf loads a finished run (run dir, durable data dir, or cluster
+// dir), extracts the calibrated whatif model, and replays it under the
+// requested scenarios — self-replay ("baseline") when none are given. out
+// receives the report (tests pass a buffer).
+func cmdWhatIf(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	runDir := fs.String("run", "", "run directory, durable Mofka data dir, or cluster dir")
+	var scenarios scenarioFlags
+	fs.Var(&scenarios, "scenario", `scenario spec, repeatable: "workers=8 threads=4 net=0.5 pfs=2 proxy=1048576|off steal=on|off" (default baseline self-replay)`)
+	critpath := fs.Bool("critpath", false, "also print the run's critical-path report")
+	asJSON := fs.Bool("json", false, "print replay results as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runDir == "" {
+		return fmt.Errorf("whatif: missing -run DIR")
+	}
+	var art *core.RunArtifacts
+	var err error
+	if cluster.IsClusterDir(*runDir) || mofka.IsDataDir(*runDir) {
+		art, err = perfrecup.LoadEventLog(*runDir)
+	} else {
+		art, err = core.LoadDir(*runDir)
+	}
+	if err != nil {
+		return err
+	}
+	model, err := art.ExtractModel()
+	if err != nil {
+		return err
+	}
+	if len(scenarios) == 0 {
+		scenarios = scenarioFlags{whatif.Scenario{}}
+	}
+	var results []*whatif.Result
+	for _, s := range scenarios {
+		r, err := model.Replay(s)
+		if err != nil {
+			return err
+		}
+		results = append(results, r)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprint(out, perfrecup.RenderWhatIf(model, results))
+	}
+	if *critpath {
+		rep, err := perfrecup.RenderCritPath(art)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, rep)
+	}
+	return nil
+}
+
+// scenarioFlags collects repeated -scenario values.
+type scenarioFlags []whatif.Scenario
+
+func (f *scenarioFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, s := range *f {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+func (f *scenarioFlags) Set(v string) error {
+	s, err := whatif.ParseScenario(v)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, s)
+	return nil
 }
 
 func printSnapshot(s live.Summary, asJSON bool) error {

@@ -5,10 +5,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"taskprov/internal/live"
 	"taskprov/internal/mofka"
+	"taskprov/internal/whatif"
 )
 
 func TestCmdList(t *testing.T) {
@@ -152,5 +154,61 @@ func TestCmdRunForceAndWatch(t *testing.T) {
 	}
 	if sum.Tasks == 0 || sum.Workflow != "imageprocessing" {
 		t.Fatalf("watch summary = %+v", sum)
+	}
+}
+
+// TestCmdWhatIf covers the whatif subcommand end to end: run a workflow,
+// persist it, and replay scenarios from the run directory and the WAL.
+func TestCmdWhatIf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workflow run")
+	}
+	out, wal := t.TempDir(), t.TempDir()
+	err := cmdRun([]string{
+		"-workflow", "imageprocessing", "-seed", "9", "-out", out, "-data-dir", wal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDir := filepath.Join(out, "imageprocessing-0009")
+
+	var buf strings.Builder
+	err = cmdWhatIf([]string{"-run", runDir,
+		"-scenario", "baseline", "-scenario", "workers=2 threads=1", "-critpath"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	for _, want := range []string{"what-if replay", "baseline", "workers=2 threads=1", "critical path"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("whatif output missing %q:\n%s", want, got)
+		}
+	}
+
+	// -json emits parseable results, and the WAL dir loads identically.
+	var jsonBuf strings.Builder
+	walDir := filepath.Join(wal, "imageprocessing-0009")
+	if err := cmdWhatIf([]string{"-run", walDir, "-json"}, &jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var results []whatif.Result
+	if err := json.Unmarshal([]byte(jsonBuf.String()), &results); err != nil {
+		t.Fatalf("whatif -json unparseable: %v\n%s", err, jsonBuf.String())
+	}
+	if len(results) != 1 || results[0].Scenario != "baseline" {
+		t.Fatalf("whatif -json results = %+v", results)
+	}
+	// Self-replay of the unchanged configuration stays within the validation
+	// tolerance.
+	if d := results[0].DeltaFraction; d < -0.10 || d > 0.10 {
+		t.Errorf("baseline self-replay off by %.1f%%", 100*d)
+	}
+
+	// Bad inputs fail instead of exiting.
+	if err := cmdWhatIf([]string{"-scenario", "baseline"}, io.Discard); err == nil {
+		t.Fatal("whatif without -run accepted")
+	}
+	if err := cmdWhatIf([]string{"-run", filepath.Join(t.TempDir(), "nope")}, io.Discard); err == nil {
+		t.Fatal("whatif on missing dir accepted")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"taskprov/internal/platform"
 	"taskprov/internal/posixio"
 	"taskprov/internal/sim"
+	"taskprov/internal/whatif"
 )
 
 // Env exposes the run's substrate to workflow implementations (dataset
@@ -186,6 +187,12 @@ type RunArtifacts struct {
 	// Live is the live monitor's final Summary, set when
 	// SessionConfig.LiveMonitor was enabled.
 	Live *live.Summary
+
+	// CritPath is the whole-run critical-path digest (internal/whatif),
+	// computed at the end of every instrumented run: the makespan's
+	// attribution to compute, transfer, I/O, scheduler, and proxy time.
+	// Nil when collection was disabled.
+	CritPath *whatif.Summary
 
 	WallTime sim.Time
 }
@@ -461,6 +468,14 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		StartSeconds: start.Seconds(),
 		EndSeconds:   end.Seconds(),
 		WallSeconds:  (end - start).Seconds(),
+	}
+	if !cfg.DisableCollection {
+		// The critical-path digest rides on every instrumented run; an
+		// extraction failure (e.g. a chaos run that lost its stream) just
+		// leaves it nil.
+		if model, err := whatif.Extract(art.WhatIfInput()); err == nil {
+			art.CritPath = model.CriticalPath().Summarize()
+		}
 	}
 	if cfg.MofkaDataDir != "" {
 		// Make the data directory self-describing: with metadata.json next

@@ -31,6 +31,7 @@ import (
 	"taskprov/internal/dask"
 	"taskprov/internal/mofka"
 	"taskprov/internal/provenance"
+	"taskprov/internal/whatif"
 )
 
 // AggregatorOptions tunes the streaming aggregation.
@@ -50,6 +51,11 @@ type AggregatorOptions struct {
 	// are dropped from the timeline but still counted in Warnings.
 	// Default 4096.
 	RecoveryEventCap int
+	// CritPathTaskCap bounds the per-task records (durations, dependency
+	// lists) backing the CriticalPathSeconds lane; past the cap new tasks
+	// stop contributing and the lane becomes a lower bound over the
+	// retained prefix. Default 1<<20.
+	CritPathTaskCap int
 	// Anomaly configures the online detectors.
 	Anomaly AnomalyConfig
 }
@@ -66,6 +72,9 @@ func (o AggregatorOptions) withDefaults() AggregatorOptions {
 	}
 	if o.RecoveryEventCap <= 0 {
 		o.RecoveryEventCap = 4096
+	}
+	if o.CritPathTaskCap <= 0 {
+		o.CritPathTaskCap = 1 << 20
 	}
 	o.Anomaly = o.Anomaly.withDefaults()
 	return o
@@ -171,6 +180,14 @@ type Summary struct {
 	IOOps         int64 `json:"io_ops"`
 	IOBytes       int64 `json:"io_bytes"`
 
+	// CriticalPathSeconds is the heaviest dependency chain of task
+	// execution time over the events received so far — a live lower bound
+	// on the run's makespan that tightens as the run progresses (see
+	// whatif.LongestChainSeconds). Computed at snapshot time as a pure
+	// function of the retained record set, so partition consumption order
+	// cannot change it.
+	CriticalPathSeconds float64 `json:"critical_path_seconds"`
+
 	// Raw cumulative phase sums and their per-thread-slot averages,
 	// matching perfrecup.PhaseBreakdown exactly (ComputeSeconds is exec
 	// minus I/O, clamped at zero, divided by ThreadSlots).
@@ -273,6 +290,12 @@ type Aggregator struct {
 	hostIO    map[string]*HostIOStats
 	warnings  map[string]int
 
+	// critDur/critDeps back the CriticalPathSeconds lane: per-task
+	// execution duration (max-combined, so re-executions commute) and
+	// dependency lists, both capped at CritPathTaskCap.
+	critDur  map[string]float64
+	critDeps map[string][]string
+
 	// proxy holds the integer counters of the proxy-store lane (nil until
 	// the first proxy event); its float ResolveSeconds lives in the lanes.
 	proxy *ProxyStats
@@ -297,6 +320,8 @@ func NewAggregator(opts AggregatorOptions) *Aggregator {
 		workers:   make(map[string]*WorkerStats),
 		hostIO:    make(map[string]*HostIOStats),
 		warnings:  make(map[string]int),
+		critDur:   make(map[string]float64),
+		critDeps:  make(map[string][]string),
 		windows:   newWindowRing(opts.WindowSeconds, opts.Windows),
 	}
 	a.detect = newDetectors(opts.Anomaly, opts.WindowSeconds)
@@ -394,6 +419,14 @@ func (a *Aggregator) IngestEvent(topic string, partition int, m mofka.Metadata) 
 		if len(acc.samples) < a.opts.GroupSampleCap {
 			acc.samples = append(acc.samples, dur)
 		}
+		key := string(e.Key)
+		if prev, ok := a.critDur[key]; ok || len(a.critDur) < a.opts.CritPathTaskCap {
+			// Max-combine so a re-executed task (worker crash) contributes
+			// its longest attempt regardless of arrival order.
+			if dur > prev {
+				a.critDur[key] = dur
+			}
+		}
 		stop := e.Stop.Seconds()
 		if b := a.windows.bucket(stop); b != nil {
 			b.TasksFinished++
@@ -459,6 +492,15 @@ func (a *Aggregator) IngestEvent(topic string, partition int, m mofka.Metadata) 
 		}
 	case provenance.TopicTaskMeta:
 		a.submitted++
+		tm := provenance.ParseTaskMeta(m)
+		key := string(tm.Key)
+		if _, ok := a.critDeps[key]; !ok && len(tm.Deps) > 0 && len(a.critDeps) < a.opts.CritPathTaskCap {
+			deps := make([]string, len(tm.Deps))
+			for i, d := range tm.Deps {
+				deps[i] = string(d)
+			}
+			a.critDeps[key] = deps
+		}
 	case provenance.TopicGraphs:
 		if provenance.Str(m, "event") == "done" {
 			a.graphsDone++
@@ -671,6 +713,11 @@ func (a *Aggregator) Snapshot() Summary {
 	if len(a.cluster) > 0 {
 		s.ClusterHealth = sortedTimeline(a.cluster)
 	}
+
+	// The live makespan lower bound: heaviest dependency chain of the
+	// executions seen so far. A pure function of the retained record set —
+	// merge order across partitions cannot change it.
+	s.CriticalPathSeconds = whatif.LongestChainSeconds(a.critDur, a.critDeps)
 
 	s.Windows = a.windows.snapshot()
 	s.Anomalies = append([]Anomaly(nil), a.anomalies...)

@@ -158,6 +158,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(&b, "taskprov_live_phase_seconds{phase=\"comm\"} %g\n", snap.CommSeconds)
 	fmt.Fprintf(&b, "taskprov_live_phase_seconds{phase=\"compute\"} %g\n", snap.ComputeSeconds)
 
+	fmt.Fprintf(&b, "# HELP taskprov_live_critical_path_seconds Heaviest dependency chain of observed task time — a live makespan lower bound.\n# TYPE taskprov_live_critical_path_seconds gauge\n")
+	fmt.Fprintf(&b, "taskprov_live_critical_path_seconds %g\n", snap.CriticalPathSeconds)
+
 	if len(snap.StateOccupancy) > 0 {
 		fmt.Fprintf(&b, "# HELP taskprov_live_state_occupancy Tasks currently in each scheduler state.\n# TYPE taskprov_live_state_occupancy gauge\n")
 		for _, st := range sortedKeys(snap.StateOccupancy) {

@@ -1,0 +1,45 @@
+package whatif
+
+import "testing"
+
+// bench20k is a 20,000-task DAG (200 layers x 100 wide) over 8 workers x 4
+// threads — the scale target for the analysis paths.
+func bench20k(b *testing.B) *Model {
+	b.Helper()
+	m := syntheticModel(200, 100, 8, 4)
+	if len(m.Tasks) != 20000 {
+		b.Fatalf("synthetic DAG has %d tasks, want 20000", len(m.Tasks))
+	}
+	return m
+}
+
+func BenchmarkCriticalPath(b *testing.B) {
+	m := bench20k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cp := m.CriticalPath()
+		if cp.MakespanSeconds <= 0 {
+			b.Fatal("empty critical path")
+		}
+	}
+}
+
+func BenchmarkWhatIfReplay(b *testing.B) {
+	m := bench20k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Replay(Scenario{NetBandwidthScale: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSlack(b *testing.B) {
+	m := bench20k(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := m.Slack(); len(s) != len(m.Tasks) {
+			b.Fatal("bad slack size")
+		}
+	}
+}

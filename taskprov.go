@@ -28,6 +28,7 @@ import (
 	"taskprov/internal/live"
 	"taskprov/internal/perfrecup"
 	"taskprov/internal/perfrecup/frame"
+	"taskprov/internal/whatif"
 	"taskprov/internal/workloads"
 )
 
@@ -152,6 +153,36 @@ func AttributeIOToTasks(art *RunArtifacts) (Frame, error) {
 // internal/perfrecup/frame for its operations: filter, sort, group-by,
 // joins, CSV round-trips).
 type Frame = *frame.Frame
+
+// What-if analysis (see internal/whatif): a calibrated performance model
+// extracted from a run's provenance, critical-path/bottleneck attribution,
+// and a discrete-event replay simulator for perturbed configurations.
+type (
+	// WhatIfModel is the calibrated model of one run: the weighted task DAG
+	// with fitted compute/transfer/I-O/scheduler costs.
+	WhatIfModel = whatif.Model
+	// WhatIfScenario perturbs the measured configuration (workers, threads,
+	// network and PFS speed, proxy threshold, stealing).
+	WhatIfScenario = whatif.Scenario
+	// WhatIfResult is one replay prediction with its makespan delta.
+	WhatIfResult = whatif.Result
+	// CriticalPath is the executed schedule's longest weighted chain with
+	// category attribution summing to the makespan.
+	CriticalPath = whatif.CritPath
+	// CritPathSummary is the compact digest attached to RunArtifacts.
+	CritPathSummary = whatif.Summary
+)
+
+// ExtractModel fits the what-if cost model from a run's provenance.
+func ExtractModel(art *RunArtifacts) (*WhatIfModel, error) { return art.ExtractModel() }
+
+// ParseScenario parses "workers=8 threads=4 net=0.5 pfs=2 proxy=1048576
+// steal=off" into a WhatIfScenario ("baseline" or "" = unchanged).
+func ParseScenario(s string) (WhatIfScenario, error) { return whatif.ParseScenario(s) }
+
+// RenderCritPath renders a run's critical path, bottleneck attribution, and
+// chain as deterministic text (the `perfrecup critpath` report).
+func RenderCritPath(art *RunArtifacts) (string, error) { return perfrecup.RenderCritPath(art) }
 
 // Live monitoring (see internal/live). Enable during a run with
 // SessionConfig.LiveMonitor (the final LiveSummary lands in
