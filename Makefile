@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-cluster bench-proxy bench-whatif chaos cluster property fuzz whatif verify
+.PHONY: build vet test race bench bench-cluster bench-proxy bench-whatif chaos cluster property resume fuzz whatif verify
 
 build:
 	$(GO) build ./...
@@ -54,7 +54,16 @@ cluster:
 # once, dependency order, determinism) and random kill/restart schedules
 # under the proxy data plane (holder/refcount/quiescence invariants).
 property:
-	$(GO) test -race -run 'TestRandomDAG' ./internal/dask/
+	$(GO) test -race -run 'TestRandomDAG' ./internal/dask/ ./internal/core/
+
+# Run-resumption gate, race-enabled: kill -9 of the whole session at three
+# points of a seeded run (plus random DAGs at random kill points, plus the
+# paper workloads), resumed from the durable provenance log — merged outputs
+# and graph results must be identical to an uninterrupted run, with no task
+# re-executed whose output was still resolvable.
+resume:
+	$(GO) test -race -run 'TestResume|TestSchedulerKillAtTask|TestSessionClose|TestRandomDAGsSurviveSchedulerKill' ./internal/core/
+	$(GO) test -count=1 -run 'TestResumeEquivalence' ./internal/workloads/
 
 # What-if validation: self-replay of the unchanged scenario on the seeded
 # ImageProcessing and xgboost runs must predict the measured makespan within
@@ -80,4 +89,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzWALRecover' -fuzztime 20s ./internal/mofka/wal/
 
 # Everything CI runs.
-verify: build vet test race chaos cluster property fuzz whatif
+verify: build vet test race chaos cluster property resume fuzz whatif

@@ -518,7 +518,7 @@ func BenchmarkWALReplay(b *testing.B) {
 		if t.Events() != events {
 			b.Fatalf("replayed %d events, want %d", t.Events(), events)
 		}
-		rb.Close()
+		_ = rb.Close()
 	}
 	b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }

@@ -136,7 +136,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			defer srv.Close()
+			defer func() { _ = srv.Close() }()
 			fmt.Printf("mofkad: live monitor on http://%s (/snapshot /metrics /events)\n", srv.Addr())
 		} else {
 			fmt.Println("mofkad: live monitor attached")

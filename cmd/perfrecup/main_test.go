@@ -69,8 +69,8 @@ func TestCLICommands(t *testing.T) {
 		os.Stdout = devnull
 		err := cmdExport([]string{dir, "-view", view})
 		os.Stdout = old
-		null.Close()
-		devnull.Close()
+		_ = null.Close()
+		_ = devnull.Close()
 		if err != nil {
 			t.Fatalf("export %s: %v", view, err)
 		}

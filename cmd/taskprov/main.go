@@ -8,6 +8,7 @@
 //
 //	taskprov run -workflow xgboost -seed 1 -out runs/xgb-0001
 //	taskprov run -workflow imageprocessing -runs 10 -out runs/ip
+//	taskprov resume runs-wal/xgb-0001
 //	taskprov watch -data-dir runs-wal/xgb-0001 -http 127.0.0.1:9090
 //	taskprov watch -broker 127.0.0.1:7777 -once
 //	taskprov whatif -run runs/xgb-0001 -scenario "workers=16 net=0.5"
@@ -45,6 +46,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "resume":
+		err = cmdResume(os.Args[2:])
 	case "watch":
 		err = cmdWatch(os.Args[2:], nil)
 	case "whatif":
@@ -64,6 +67,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-cluster N] [-replication N] [-quorum N] [-live] [-live-http ADDR] [-chaos SPEC] [-proxy-threshold BYTES] [-proxy-prefetch] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov resume [-out DIR] [-fsync POLICY] [-chaos SPEC] DATA_DIR
   taskprov watch (-data-dir DIR | -broker ADDR) [-http ADDR] [-interval DUR] [-once] [-json]
   taskprov whatif -run DIR [-scenario SPEC]... [-critpath] [-json]
   taskprov list`)
@@ -212,6 +216,75 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// cmdResume continues a crashed run from its durable event log: the run's
+// own metadata.json rebuilds the workflow and session configuration, the
+// provenance stream is replayed to reconstruct the completion frontier, and
+// a new session incarnation appends to the same data dir until the workflow
+// finishes. The crashed attempt's chaos spec is deliberately NOT re-armed —
+// the point of resuming is to get past the fault — but -chaos can inject
+// fresh faults into the resumed attempt (which can itself be resumed).
+func cmdResume(args []string) error {
+	fs := flag.NewFlagSet("resume", flag.ExitOnError)
+	out := fs.String("out", "runs", "output directory for the completed run's artifacts")
+	fsync := fs.String("fsync", "batch", "durable log fsync policy: batch|interval|never")
+	chaosSpec := fs.String("chaos", "", "fault-injection spec for the resumed attempt (default: none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("resume: need exactly one durable data DIR (from `taskprov run -data-dir`)")
+	}
+	dir := fs.Arg(0)
+	b, err := os.ReadFile(filepath.Join(dir, "metadata.json"))
+	if err != nil {
+		return fmt.Errorf("resume: %s is not a resumable data dir: %w", dir, err)
+	}
+	meta, err := core.DecodeMetadata(b)
+	if err != nil {
+		return fmt.Errorf("resume: %s/metadata.json: %w", dir, err)
+	}
+	wf, err := workloads.New(meta.Workflow)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+
+	// Rebuild the session the crashed run was started with, from its own
+	// metadata — same workflow, seed, and data-plane knobs.
+	cfg := workloads.DefaultSession(meta.Workflow, meta.JobID, meta.Seed)
+	cfg.DarshanDXT = meta.Instrumentation.DXTEnabled
+	cfg.Dask.WorkStealing = meta.DaskConfig.WorkStealing
+	cfg.Dask.ProxyThresholdBytes = meta.DaskConfig.ProxyThresholdBytes
+	cfg.Dask.ProxyPrefetch = meta.DaskConfig.ProxyPrefetch
+	cfg.ClusterBrokers = meta.Instrumentation.ClusterBrokers
+	cfg.ClusterReplication = meta.Instrumentation.ClusterReplication
+	cfg.MofkaSyncPolicy = *fsync
+	cfg.ResumeFrom = dir
+	cfg.ChaosSpec = *chaosSpec
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if meta.Instrumentation.Chaos != "" {
+		fmt.Printf("taskprov: crashed attempt ran under chaos %q — not re-armed\n", meta.Instrumentation.Chaos)
+	}
+
+	art, err := core.Run(cfg, wf)
+	if err != nil {
+		return fmt.Errorf("resume %s: %w", meta.JobID, err)
+	}
+	outDir := filepath.Join(*out, meta.JobID)
+	if err := art.WriteDir(outDir); err != nil {
+		return fmt.Errorf("write %s: %w", outDir, err)
+	}
+	row := fmt.Sprintf("%s wall=%.1fs", meta.JobID, art.Meta.WallSeconds)
+	if r, err := perfrecup.RenderTableIRow(art); err == nil {
+		row = fmt.Sprintf("%s wall=%.1fs -> %s", r, art.Meta.WallSeconds, outDir)
+	}
+	fmt.Println(row)
+	fmt.Printf("  resumed: attempt %d (from attempt %d), merged event log in %s\n",
+		art.Meta.Attempt, art.Meta.ResumedFrom, dir)
+	return nil
+}
+
 // moveAsideDataDir renames an existing event log out of the way
 // (<dir>.old-<n>, first free n) so the run can start fresh. Returns the new
 // name, or "" when dir held no event log.
@@ -268,10 +341,10 @@ func cmdWatch(args []string, started chan<- string) error {
 		}
 		t, err := live.TailRemote(mofka.NewRemote(cli), live.TailOptions{Interval: *interval, Logf: logf})
 		if err != nil {
-			cli.Close()
+			_ = cli.Close()
 			return err
 		}
-		src, stop = t, func() { t.Stop(); cli.Close() }
+		src, stop = t, func() { t.Stop(); _ = cli.Close() }
 	}
 	defer stop()
 
@@ -283,7 +356,7 @@ func cmdWatch(args []string, started chan<- string) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		defer func() { _ = srv.Close() }()
 		fmt.Printf("taskprov watch: serving on http://%s (/snapshot /metrics /events)\n", srv.Addr())
 		if started != nil {
 			started <- srv.Addr()
@@ -358,14 +431,18 @@ func cmdWhatIf(args []string, out io.Writer) error {
 			return err
 		}
 	} else {
-		fmt.Fprint(out, perfrecup.RenderWhatIf(model, results))
+		if _, err := fmt.Fprint(out, perfrecup.RenderWhatIf(model, results)); err != nil {
+			return err
+		}
 	}
 	if *critpath {
 		rep, err := perfrecup.RenderCritPath(art)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(out, rep)
+		if _, err := fmt.Fprint(out, rep); err != nil {
+			return err
+		}
 	}
 	return nil
 }

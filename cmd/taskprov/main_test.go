@@ -139,7 +139,7 @@ func TestCmdRunForceAndWatch(t *testing.T) {
 	}
 	os.Stdout = pw
 	watchErr := cmdWatch([]string{"-data-dir", runWAL, "-once", "-json"}, nil)
-	pw.Close()
+	_ = pw.Close()
 	os.Stdout = stdout
 	raw, err := io.ReadAll(pr)
 	if err != nil {

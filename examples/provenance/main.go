@@ -34,13 +34,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() { _ = os.RemoveAll(dir) }()
 	runDir := filepath.Join(dir, "imageprocessing-0011")
 	if err := art.WriteDir(runDir); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("artifacts written to %s:\n", runDir)
-	filepath.Walk(runDir, func(path string, info os.FileInfo, err error) error {
+	_ = filepath.Walk(runDir, func(path string, info os.FileInfo, err error) error {
 		if err == nil && !info.IsDir() {
 			rel, _ := filepath.Rel(runDir, path)
 			fmt.Printf("  %-34s %8d bytes\n", rel, info.Size())
@@ -81,7 +81,9 @@ func main() {
 	if err := sum.WriteCSV(f); err != nil {
 		log.Fatal(err)
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 	st, _ := os.Stat(out)
 	fmt.Printf("\nfused view exported: %s (%d bytes)\n", out, st.Size())
 }

@@ -13,6 +13,7 @@
 //
 //	kill worker=N at=DUR [restart=DUR]
 //	broker node=N at=DUR [restart=DUR]
+//	scheduler at=DUR | at-task=KEY
 //	rpc [addr=S] [rpc=S] op=drop|delay|error [after=N] [count=N] [delay=DUR]
 //	wal [topic=S] [partition=N] [after=N] [count=N]
 //
@@ -21,11 +22,16 @@
 // the same to broker replica N of a sharded Mofka cluster
 // (internal/mofka/cluster): the node drops out of the SSG membership, its
 // partitions fail over to surviving replicas, and an optional restart
-// rejoins it with catch-up. "rpc" faults in-process RPCs whose destination
-// address and RPC name match (omitted matchers accept anything): after
-// skips that many matching calls first, count bounds how many calls are
-// faulted (default 1), and op=delay sleeps delay before proceeding. "wal"
-// fails batch appends on matching topic / partition the same way.
+// rejoins it with catch-up. "scheduler" SIGKILLs the whole coordinator
+// process (scheduler, client, and every worker die together, taking
+// unflushed producer batches with them) either at a virtual time or the
+// moment the named task's execution completes; the run can afterwards be
+// continued from its data dir with `taskprov resume`. "rpc" faults
+// in-process RPCs whose destination address and RPC name match (omitted
+// matchers accept anything): after skips that many matching calls first,
+// count bounds how many calls are faulted (default 1), and op=delay sleeps
+// delay before proceeding. "wal" fails batch appends on matching topic /
+// partition the same way.
 //
 // Example: kill 1 of 8 workers two virtual minutes in, restarting it a
 // minute later, while the warnings topic's first partition rejects 3
@@ -88,12 +94,22 @@ type WALFault struct {
 	Count     int
 }
 
+// SchedulerKill crashes the whole coordinator process — scheduler, client,
+// and workers die together, mid-run, like kill -9 of the session. Exactly
+// one trigger is set: a virtual time (At) or the completion of a named
+// task's execution (AtTask).
+type SchedulerKill struct {
+	At     time.Duration
+	AtTask string
+}
+
 // Plan is a parsed chaos specification.
 type Plan struct {
-	Kills   []Kill
-	Brokers []BrokerKill
-	RPCs    []RPCFault
-	WALs    []WALFault
+	Kills      []Kill
+	Brokers    []BrokerKill
+	Schedulers []SchedulerKill
+	RPCs       []RPCFault
+	WALs       []WALFault
 
 	// Spec is the original specification string, kept for provenance
 	// metadata so a degraded run records what was injected into it.
@@ -102,7 +118,8 @@ type Plan struct {
 
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
-	return p == nil || (len(p.Kills) == 0 && len(p.Brokers) == 0 && len(p.RPCs) == 0 && len(p.WALs) == 0)
+	return p == nil || (len(p.Kills) == 0 && len(p.Brokers) == 0 && len(p.Schedulers) == 0 &&
+		len(p.RPCs) == 0 && len(p.WALs) == 0)
 }
 
 // Parse parses a chaos spec. An empty or whitespace-only spec yields an
@@ -155,6 +172,16 @@ func Parse(spec string) (*Plan, error) {
 				return nil, fmt.Errorf("chaos: broker requires at=DURATION")
 			}
 			p.Brokers = append(p.Brokers, b)
+		case "scheduler":
+			var sk SchedulerKill
+			if err := kv.durField("at", &sk.At); err != nil {
+				return nil, err
+			}
+			sk.AtTask = kv.take("at-task")
+			if (sk.At > 0) == (sk.AtTask != "") {
+				return nil, fmt.Errorf("chaos: scheduler requires exactly one of at=DURATION or at-task=KEY")
+			}
+			p.Schedulers = append(p.Schedulers, sk)
 		case "rpc":
 			f := RPCFault{Count: 1}
 			f.Addr = kv.take("addr")
@@ -199,7 +226,7 @@ func Parse(spec string) (*Plan, error) {
 			}
 			p.WALs = append(p.WALs, f)
 		default:
-			return nil, fmt.Errorf("chaos: unknown directive %q (want kill, broker, rpc, or wal)", fields[0])
+			return nil, fmt.Errorf("chaos: unknown directive %q (want kill, broker, scheduler, rpc, or wal)", fields[0])
 		}
 		if err := kv.unused(); err != nil {
 			return nil, fmt.Errorf("chaos: %s statement: %w", fields[0], err)
@@ -350,12 +377,46 @@ func (c *Controller) ArmClusterFaults(k *sim.Kernel, cl BrokerKiller) error {
 			return fmt.Errorf("chaos: broker node=%d but cluster has %d brokers", bk.Node, cl.Brokers())
 		}
 		b := bk
-		k.At(sim.Time(b.At), func() { cl.KillBroker(b.Node) }) //nolint:errcheck
+		// Kill/restart errors (unknown broker, already down) cannot happen
+		// past the range check above; ignore them explicitly.
+		k.At(sim.Time(b.At), func() { _ = cl.KillBroker(b.Node) })
 		if b.Restart > 0 {
-			k.At(sim.Time(b.At+b.Restart), func() { cl.RestartBroker(b.Node) }) //nolint:errcheck
+			k.At(sim.Time(b.At+b.Restart), func() { _ = cl.RestartBroker(b.Node) })
 		}
 	}
 	return nil
+}
+
+// ArmSchedulerFaults schedules the plan's time-triggered coordinator kills
+// on the simulation kernel. crash must be idempotent (two scheduler
+// directives may both fire; only the first takes the process down).
+// Task-triggered kills (at-task=KEY) are not armed here — the session wires
+// them through its execution-observing plugin, since the kernel cannot see
+// task completions. Call before kernel.Run.
+func (c *Controller) ArmSchedulerFaults(k *sim.Kernel, crash func(kill SchedulerKill)) {
+	for _, sk := range c.plan.Schedulers {
+		if sk.At <= 0 || sim.Time(sk.At) <= k.Now() {
+			// Kill times are absolute virtual times; one already in the past
+			// (a resumed session re-armed with the original spec) cannot fire
+			// again.
+			continue
+		}
+		s := sk
+		k.At(sim.Time(s.At), func() { crash(s) })
+	}
+}
+
+// TaskTriggeredSchedulerKills returns the coordinator kills that fire on a
+// named task's completion, for the session to arm against its execution
+// stream.
+func (c *Controller) TaskTriggeredSchedulerKills() []SchedulerKill {
+	var out []SchedulerKill
+	for _, sk := range c.plan.Schedulers {
+		if sk.AtTask != "" {
+			out = append(out, sk)
+		}
+	}
+	return out
 }
 
 // ArmRegistry installs the plan's RPC faults as the registry's dispatch

@@ -200,3 +200,70 @@ func TestEmptyPlanArmsNothing(t *testing.T) {
 		t.Fatal("empty plan should not install a broker hook")
 	}
 }
+
+func TestParseSchedulerKill(t *testing.T) {
+	p, err := Parse("scheduler at=90s; scheduler at-task=readzarr-a1b2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Schedulers) != 2 {
+		t.Fatalf("got %+v", p.Schedulers)
+	}
+	if sk := p.Schedulers[0]; sk.At != 90*time.Second || sk.AtTask != "" {
+		t.Fatalf("time-triggered kill %+v", sk)
+	}
+	if sk := p.Schedulers[1]; sk.At != 0 || sk.AtTask != "readzarr-a1b2" {
+		t.Fatalf("task-triggered kill %+v", sk)
+	}
+}
+
+func TestParseSchedulerKillErrors(t *testing.T) {
+	for _, spec := range []string{
+		"scheduler",                  // neither trigger
+		"scheduler at=5s at-task=k1", // both triggers
+		"scheduler at=0s",            // non-positive time
+		"scheduler at=fast",          // malformed duration
+		"scheduler at=5s worker=1",   // unknown field
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+func TestArmSchedulerFaults(t *testing.T) {
+	p, err := Parse("scheduler at=5s; scheduler at=9s; scheduler at-task=k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewController(p)
+	k := sim.NewKernel(1)
+	var fired []SchedulerKill
+	c.ArmSchedulerFaults(k, func(sk SchedulerKill) { fired = append(fired, sk) })
+	k.Run()
+	// Both time-triggered kills fire (crash must be idempotent); the
+	// task-triggered one is left to the session's execution stream.
+	if len(fired) != 2 || fired[0].At != 5*time.Second || fired[1].At != 9*time.Second {
+		t.Fatalf("fired %+v", fired)
+	}
+	if tt := c.TaskTriggeredSchedulerKills(); len(tt) != 1 || tt[0].AtTask != "k1" {
+		t.Fatalf("task-triggered %+v", tt)
+	}
+}
+
+func TestArmSchedulerFaultsSkipsPastKills(t *testing.T) {
+	p, err := Parse("scheduler at=5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	k.RunUntil(10 * sim.Seconds(1))
+	var fired []SchedulerKill
+	NewController(p).ArmSchedulerFaults(k, func(sk SchedulerKill) { fired = append(fired, sk) })
+	k.Run()
+	// A resumed session re-arms the original spec with its clock already
+	// past the kill time: the stale kill must not fire again.
+	if len(fired) != 0 {
+		t.Fatalf("fired %+v", fired)
+	}
+}

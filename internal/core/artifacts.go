@@ -61,7 +61,7 @@ func (a *RunArtifacts) WriteDarshanLogs(dir string) error {
 			return err
 		}
 		if err := l.Write(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -112,18 +112,24 @@ func (a *RunArtifacts) writeTopic(dir, topic string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
 	for _, m := range metas {
 		b, err := json.Marshal(m)
 		if err != nil {
+			_ = f.Close()
 			return err
 		}
 		if _, err := w.Write(append(b, '\n')); err != nil {
+			_ = f.Close()
 			return err
 		}
 	}
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	// Close errors on the write path are data loss, not noise.
+	return f.Close()
 }
 
 // LoadDir reads artifacts previously written by WriteDir. The Mofka topics
@@ -150,7 +156,7 @@ func LoadDir(dir string) (*RunArtifacts, error) {
 			return nil, err
 		}
 		l, err := darshan.ReadLog(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("core: %s: %w", p, err)
 		}
@@ -181,15 +187,15 @@ func LoadDir(dir string) (*RunArtifacts, error) {
 				continue
 			}
 			if err := prod.PushRaw(line, nil); err != nil {
-				f.Close()
+				_ = f.Close()
 				return nil, fmt.Errorf("core: %s: %w", p, err)
 			}
 		}
 		if err := sc.Err(); err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
-		f.Close()
+		_ = f.Close()
 		if err := prod.Close(); err != nil {
 			return nil, err
 		}

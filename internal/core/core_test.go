@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -142,8 +143,9 @@ func TestRoundTripEncodeParse(t *testing.T) {
 	if got := ParseTransition(TransitionEvent(tr)); got != tr {
 		t.Fatalf("transition round trip: %+v vs %+v", got, tr)
 	}
-	ex := dask.TaskExecution{Key: "k-1", Worker: "tcp://n:40000", Hostname: "n", ThreadID: 1001, Start: sim.Seconds(1), Stop: sim.Seconds(2), OutputSize: 77, GraphID: 3}
-	if got := ParseExecution(ExecutionEvent(ex)); got != ex {
+	ex := dask.TaskExecution{Key: "k-1", Worker: "tcp://n:40000", Hostname: "n", ThreadID: 1001, Start: sim.Seconds(1), Stop: sim.Seconds(2), OutputSize: 77, GraphID: 3,
+		Files: []dask.FileEffect{{Path: "/lus/out.bin", SizeAfter: 77}}}
+	if got := ParseExecution(ExecutionEvent(ex)); !reflect.DeepEqual(got, ex) {
 		t.Fatalf("execution round trip: %+v vs %+v", got, ex)
 	}
 	tf := dask.Transfer{Key: "k-1", From: "a", To: "b", Bytes: 123, Start: sim.Seconds(1), Stop: sim.Seconds(2), SameNode: true}
@@ -317,12 +319,12 @@ func TestRemoteCollectorOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer func() { _ = srv.Close() }()
 	cli, err := mercury.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cli.Close()
+	defer func() { _ = cli.Close() }()
 	remote := mofka.NewRemote(cli)
 	rc, err := NewRemoteCollector(remote, 16)
 	if err != nil {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+
+	"taskprov/internal/dask"
+	"taskprov/internal/resume"
+	"taskprov/internal/sim"
+)
+
+// frontierPlugin observes the run and maintains the completion frontier the
+// periodic checkpoint snapshots: completed tasks (with their file effects),
+// graph done marks, and live proxy-store blobs. It is both a scheduler and a
+// worker plugin. On a resumed session it starts from the reconstructed
+// frontier so checkpoints keep covering prior attempts' work.
+type frontierPlugin struct {
+	dask.NopSchedulerPlugin
+	dask.NopWorkerPlugin
+
+	mu      sync.Mutex
+	attempt int
+	tasks   map[string]resume.FrontierTask
+	done    map[int]bool
+	blobs   map[string]resume.FrontierBlob
+}
+
+func newFrontierPlugin(attempt int, seed *resume.Checkpoint) *frontierPlugin {
+	f := &frontierPlugin{
+		attempt: attempt,
+		tasks:   make(map[string]resume.FrontierTask),
+		done:    make(map[int]bool),
+		blobs:   make(map[string]resume.FrontierBlob),
+	}
+	if seed != nil {
+		for key, t := range seed.Tasks {
+			f.tasks[key] = t
+		}
+		for id, g := range seed.Graphs {
+			if !g.Done {
+				continue
+			}
+			if n, err := strconv.Atoi(id); err == nil {
+				f.done[n] = true
+			}
+		}
+		for _, b := range seed.Blobs {
+			f.blobs[b.Key] = b
+		}
+	}
+	return f
+}
+
+// TaskExecuted records a task completion in the frontier. Re-executions
+// overwrite (latest effects win, matching the resume-side merge).
+func (f *frontierPlugin) TaskExecuted(e dask.TaskExecution) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tasks[string(e.Key)] = resume.FrontierTask{
+		GraphID:     e.GraphID,
+		Size:        e.OutputSize,
+		StopSeconds: e.Stop.Seconds(),
+		Files:       e.Files,
+	}
+}
+
+// GraphDone marks a graph's done event as emitted.
+func (f *frontierPlugin) GraphDone(id int, at sim.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done[id] = true
+}
+
+// ProxyEvent tracks blob residency: publishes add (or replace) a blob, frees
+// and crash reclaims remove it.
+func (f *frontierPlugin) ProxyEvent(e dask.ProxyEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch e.Op {
+	case dask.ProxyOpPublish:
+		f.blobs[string(e.Key)] = resume.FrontierBlob{
+			Key:   string(e.Key),
+			Owner: dask.RankFromAddr(e.Worker),
+			Size:  e.Bytes,
+		}
+	case dask.ProxyOpFree, dask.ProxyOpReclaim:
+		delete(f.blobs, string(e.Key))
+	}
+}
+
+// snapshot materializes the frontier as a checkpoint taken at virtual time
+// at. Per-graph completed counts are derived from the task set.
+func (f *frontierPlugin) snapshot(at sim.Time) *resume.Checkpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := resume.NewCheckpoint(f.attempt)
+	cp.AtSeconds = at.Seconds()
+	for key, t := range f.tasks {
+		cp.Tasks[key] = t
+		g := cp.Graphs[strconv.Itoa(t.GraphID)]
+		g.Completed++
+		cp.Graphs[strconv.Itoa(t.GraphID)] = g
+	}
+	for id := range f.done {
+		g := cp.Graphs[strconv.Itoa(id)]
+		g.Done = true
+		cp.Graphs[strconv.Itoa(id)] = g
+	}
+	keys := make([]string, 0, len(f.blobs))
+	for key := range f.blobs {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		cp.Blobs = append(cp.Blobs, f.blobs[key])
+	}
+	return cp
+}

@@ -38,6 +38,12 @@ type RunMetadata struct {
 	StartSeconds float64 `json:"start_seconds"`
 	EndSeconds   float64 `json:"end_seconds"`
 	WallSeconds  float64 `json:"wall_seconds"`
+
+	// Attempt/ResumedFrom record the session incarnation for resumed runs
+	// (see internal/resume): set from attempt 2 on, absent for runs that
+	// never crashed.
+	Attempt     int `json:"attempt,omitempty"`
+	ResumedFrom int `json:"resumed_from,omitempty"`
 }
 
 // SoftwareStack is the system-software layer: OS, loaded modules, and
@@ -183,6 +189,9 @@ func (m RunMetadata) RenderChart() string {
 	fmt.Fprintf(&b, "    ├─ instrumentation: DXT=%v (buffer %d segments), mofka batch %d%s\n",
 		m.Instrumentation.DXTEnabled, m.Instrumentation.DXTBufferSegments,
 		m.Instrumentation.MofkaBatchSize, durable)
+	if m.Attempt > 1 {
+		fmt.Fprintf(&b, "    ├─ attempt: %d (resumed from attempt %d)\n", m.Attempt, m.ResumedFrom)
+	}
 	fmt.Fprintf(&b, "    └─ outcome: [%.3fs, %.3fs], wall %.3fs\n",
 		m.StartSeconds, m.EndSeconds, m.WallSeconds)
 	return b.String()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -16,6 +17,8 @@ import (
 	"taskprov/internal/pfs"
 	"taskprov/internal/platform"
 	"taskprov/internal/posixio"
+	"taskprov/internal/proxystore"
+	"taskprov/internal/resume"
 	"taskprov/internal/sim"
 	"taskprov/internal/whatif"
 )
@@ -61,7 +64,9 @@ type SessionConfig struct {
 
 	// ChaosSpec, when non-empty, arms the fault-injection plan parsed from
 	// it (see internal/chaos) before the run starts: worker kills/restarts
-	// at virtual times and broker append faults. The same seed and spec
+	// at virtual times, broker append faults, and whole-coordinator kills
+	// (the "scheduler" directive, which aborts the session with a CrashError
+	// so the run can be continued with ResumeFrom). The same seed and spec
 	// reproduce the identical failure and recovery event sequence.
 	ChaosSpec string
 
@@ -74,6 +79,25 @@ type SessionConfig struct {
 	// MofkaSyncPolicy selects the event log's fsync policy: "batch"
 	// (default), "interval", or "never". See wal.ParseSyncPolicy.
 	MofkaSyncPolicy string
+
+	// ResumeFrom, when set, continues a crashed run from its data dir: the
+	// provenance WAL (and frontier checkpoint) there is reconstructed into
+	// scheduler state, completed tasks are memoized, outputs are revalidated
+	// against surviving proxy-store blobs, and the session appends to the
+	// same data dir as a new attempt (recorded in attempts.json). The
+	// session must otherwise be configured identically to the crashed one
+	// (same seed, platform, workflow — taskprov resume rebuilds this from
+	// the dir's metadata.json). MofkaDataDir, if also set, must equal
+	// ResumeFrom.
+	ResumeFrom string
+
+	// CheckpointInterval is the period of the lightweight frontier
+	// checkpoint (completed-task high-water marks per graph plus live blob
+	// residency) written next to the durable event log, so resume cost is
+	// O(crash tail), not O(run). Zero means the 5s default; negative
+	// disables periodic checkpointing (resume then replays the whole WAL).
+	// Ignored without MofkaDataDir/ResumeFrom.
+	CheckpointInterval time.Duration
 
 	// ClusterBrokers, when > 0, backs the provenance stream with a sharded,
 	// replicated Mofka cluster of that many broker replicas instead of a
@@ -140,6 +164,14 @@ func (cfg SessionConfig) Validate() error {
 	if cfg.ClusterBrokers == 0 && (cfg.ClusterReplication != 0 || cfg.ClusterQuorum != 0) {
 		return fmt.Errorf("core: cluster replication/quorum set without ClusterBrokers")
 	}
+	if cfg.ResumeFrom != "" {
+		if cfg.DisableCollection {
+			return fmt.Errorf("core: ResumeFrom requires collection (resume is reconstructed from the provenance stream)")
+		}
+		if cfg.MofkaDataDir != "" && cfg.MofkaDataDir != cfg.ResumeFrom {
+			return fmt.Errorf("core: ResumeFrom %s conflicts with MofkaDataDir %s (a resumed session appends to the dir it resumes from)", cfg.ResumeFrom, cfg.MofkaDataDir)
+		}
+	}
 	if cfg.ClusterBrokers > 0 {
 		ccfg := mcluster.Config{
 			Brokers:           cfg.ClusterBrokers,
@@ -170,6 +202,32 @@ func DefaultSessionConfig(jobID string, seed uint64) SessionConfig {
 	}
 }
 
+// DefaultCheckpointInterval is the frontier-checkpoint period used when
+// SessionConfig.CheckpointInterval is zero.
+const DefaultCheckpointInterval = 5 * time.Second
+
+// CrashError is returned by a session whose coordinator was killed by the
+// chaos "scheduler" directive: the whole process is modeled as dying with
+// kill -9 — unflushed producer batches are lost, no artifacts are produced,
+// and only the durable data dir survives. Detect it with errors.As and
+// continue the run with SessionConfig.ResumeFrom (or taskprov resume).
+type CrashError struct {
+	// At is the virtual time the coordinator died.
+	At sim.Time
+	// DataDir is the durable event log the run can be resumed from (empty
+	// when the run was in-memory only, in which case nothing survives).
+	DataDir string
+	// Attempt is the incarnation that died.
+	Attempt int
+}
+
+func (e *CrashError) Error() string {
+	if e.DataDir == "" {
+		return fmt.Sprintf("core: scheduler killed at %v (attempt %d); no durable log, run not resumable", e.At, e.Attempt)
+	}
+	return fmt.Sprintf("core: scheduler killed at %v (attempt %d); resume from %s", e.At, e.Attempt, e.DataDir)
+}
+
 // RunArtifacts is everything one instrumented run leaves behind: the Mofka
 // event topics, per-worker Darshan logs, and the metadata chart.
 type RunArtifacts struct {
@@ -194,33 +252,97 @@ type RunArtifacts struct {
 	// Nil when collection was disabled.
 	CritPath *whatif.Summary
 
+	// Proxy is the final proxy-store counter snapshot (zero when the
+	// pass-by-reference plane is disabled): resume-equivalence checks
+	// compare residency against an uninterrupted baseline with it.
+	Proxy proxystore.Stats
+
+	// Files is the final parallel-filesystem manifest (path → size). A
+	// resumed run must leave exactly the manifest an uninterrupted run
+	// would — the file-side half of the resume-equivalence check, since
+	// the crashed attempt's Darshan logs die with its processes.
+	Files map[string]int64
+
 	WallTime sim.Time
 }
 
-// Run executes the workflow under full instrumentation and returns the run's
-// artifacts.
-func Run(cfg SessionConfig, wf Workflow) (*RunArtifacts, error) {
-	return RunOnBroker(cfg, wf, nil)
+// Session is one instrumented run's lifecycle, split so callers can hold it:
+// NewSession builds every component (kernel, platform, cluster, broker,
+// collector, chaos, checkpointer), Execute stages and runs the workflow, and
+// Close releases what the session owns. Run/RunOnBroker wrap the three for
+// the common case.
+type Session struct {
+	cfg SessionConfig
+	wf  Workflow
+
+	k       *sim.Kernel
+	plat    *platform.Cluster
+	fsys    *pfs.FileSystem
+	px      *posixio.FS
+	cluster *dask.Cluster
+
+	broker    *mofka.Broker
+	ownBroker bool
+	clu       *mcluster.Cluster
+	collector *Collector
+	runtimes  []*darshan.Runtime
+
+	monitor *live.Monitor
+	liveSrv *live.Server
+
+	frontier       *frontierPlugin
+	stopCheckpoint func()
+
+	attempt     int
+	resumedFrom int
+	resumeState *resume.State
+
+	crashed bool
+	crashAt sim.Time
+
+	closed bool
 }
 
-// RunOnBroker is Run with an externally supplied Mofka broker, so in-situ
-// consumers (started before the run, possibly in other goroutines or behind
-// a TCP endpoint) share the event stream. A nil broker creates a private
-// in-memory one.
-func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArtifacts, error) {
+// NewSession validates the configuration and constructs every component of
+// the run without starting it. On error the partially-constructed session is
+// closed before returning. The optional external broker shares the event
+// stream with in-situ consumers; nil creates a private one.
+func NewSession(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*Session, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.ClusterBrokers > 0 && broker != nil {
+	if broker != nil && cfg.ClusterBrokers > 0 {
 		return nil, fmt.Errorf("core: ClusterBrokers is incompatible with an external broker")
 	}
-	k := sim.NewKernel(cfg.Seed)
-	plat := platform.New(k, cfg.Platform)
-	fsys := pfs.New(k, cfg.PFS)
-	px := posixio.NewFS(fsys)
+	if broker != nil && cfg.ResumeFrom != "" {
+		return nil, fmt.Errorf("core: ResumeFrom is incompatible with an external broker")
+	}
+
+	s := &Session{cfg: cfg, wf: wf, attempt: 1}
+	if cfg.ResumeFrom != "" {
+		st, err := resume.Reconstruct(cfg.ResumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		s.resumeState = st
+		s.attempt = st.Attempt
+		s.resumedFrom = st.ResumedFrom
+		s.cfg.MofkaDataDir = cfg.ResumeFrom
+	}
+	cfg = s.cfg
+
+	s.k = sim.NewKernel(cfg.Seed)
+	if s.resumeState != nil {
+		// Fast-forward the virtual clock past every surviving event of the
+		// crashed attempts before anything is scheduled, so the merged
+		// provenance timeline stays monotonic across the attempt boundary.
+		s.k.RunUntil(s.resumeState.ResumeBase)
+	}
+	s.plat = platform.New(s.k, cfg.Platform)
+	s.fsys = pfs.New(s.k, cfg.PFS)
+	s.px = posixio.NewFS(s.fsys)
 
 	// Darshan runtime per worker process.
-	var runtimes []*darshan.Runtime
 	tracers := dask.TracerFactory(nil)
 	if !cfg.DisableCollection {
 		tracers = func(rank int, hostname string) posixio.Tracer {
@@ -230,28 +352,27 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 				DXTEnabled: cfg.DarshanDXT, DXTBufferSegments: cfg.DXTBufferSegments,
 				MaxFileRecords: cfg.DarshanMaxFileRecords,
 			})
-			runtimes = append(runtimes, rt)
+			s.runtimes = append(s.runtimes, rt)
 			return rt
 		}
 	}
 
-	cluster := dask.NewCluster(k, plat, px, cfg.Dask, tracers)
+	s.cluster = dask.NewCluster(s.k, s.plat, s.px, cfg.Dask, tracers)
 
 	// Sharded, replicated deployment: the provenance stream targets a
 	// multi-broker Mofka cluster instead of one broker. Health events are
 	// timestamped with virtual time so the failover timeline lines up with
 	// the rest of the provenance stream.
-	var clu *mcluster.Cluster
 	if cfg.ClusterBrokers > 0 {
 		ccfg := mcluster.Config{
 			Brokers:           cfg.ClusterBrokers,
 			ReplicationFactor: cfg.ClusterReplication,
 			Quorum:            cfg.ClusterQuorum,
-			NowSeconds:        func() float64 { return k.Now().Seconds() },
+			NowSeconds:        func() float64 { return s.k.Now().Seconds() },
 		}
 		if cfg.MofkaDataDir != "" {
-			if mcluster.IsClusterDir(cfg.MofkaDataDir) || mofka.IsDataDir(cfg.MofkaDataDir) {
-				return nil, fmt.Errorf("core: data dir %s already holds an event log (one directory per run)", cfg.MofkaDataDir)
+			if s.resumeState == nil && (mcluster.IsClusterDir(cfg.MofkaDataDir) || mofka.IsDataDir(cfg.MofkaDataDir)) {
+				return nil, fmt.Errorf("core: data dir %s already holds an event log (one directory per run; use ResumeFrom to continue it)", cfg.MofkaDataDir)
 			}
 			pol, err := wal.ParseSyncPolicy(cfg.MofkaSyncPolicy)
 			if err != nil {
@@ -261,18 +382,20 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 			ccfg.WAL = wal.Options{Sync: pol}
 		}
 		var err error
-		clu, err = mcluster.New(ccfg)
+		s.clu, err = mcluster.New(ccfg)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	if broker == nil && clu == nil {
+	if broker == nil && s.clu == nil {
 		if cfg.MofkaDataDir != "" {
 			// Each run gets a fresh event log: appending a second run to an
-			// existing log would silently merge both runs' provenance.
-			if mofka.IsDataDir(cfg.MofkaDataDir) {
-				return nil, fmt.Errorf("core: data dir %s already holds an event log (one directory per run)", cfg.MofkaDataDir)
+			// existing log would silently merge both runs' provenance. A
+			// resumed session is the sanctioned exception — it continues the
+			// same run, and the durable broker recovers the log appendable.
+			if s.resumeState == nil && mofka.IsDataDir(cfg.MofkaDataDir) {
+				return nil, fmt.Errorf("core: data dir %s already holds an event log (one directory per run; use ResumeFrom to continue it)", cfg.MofkaDataDir)
 			}
 			pol, err := wal.ParseSyncPolicy(cfg.MofkaSyncPolicy)
 			if err != nil {
@@ -288,8 +411,10 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		} else {
 			broker = mofka.NewStandaloneBroker()
 		}
+		s.ownBroker = true
 	}
-	var collector *Collector
+	s.broker = broker
+
 	if !cfg.DisableCollection {
 		var err error
 		// Resilience: a broker hiccup degrades the producers (bounded
@@ -299,17 +424,31 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 			FlushRetries: 2,
 			RetryBackoff: time.Millisecond,
 		}
-		if clu != nil {
-			collector, err = NewCollectorBus(clu.Bus(), 2, popts)
+		if s.clu != nil {
+			s.collector, err = NewCollectorBus(s.clu.Bus(), 2, popts)
 		} else {
-			collector, err = NewCollector(broker, popts)
+			s.collector, err = NewCollector(broker, popts)
 		}
 		if err != nil {
+			_ = s.Close()
 			return nil, err
 		}
-		collector.SetClock(k.Now)
-		cluster.AddSchedulerPlugin(collector.SchedulerPlugin())
-		cluster.AddWorkerPlugin(collector.WorkerPlugin())
+		s.collector.SetClock(s.k.Now)
+		s.cluster.AddSchedulerPlugin(s.collector.SchedulerPlugin())
+		s.cluster.AddWorkerPlugin(s.collector.WorkerPlugin())
+	}
+
+	// The frontier checkpointer rides along whenever the run is durable: it
+	// observes completions and blob residency and periodically snapshots
+	// them next to the event log, bounding a future resume's WAL replay.
+	if cfg.MofkaDataDir != "" && !cfg.DisableCollection {
+		var seed *resume.Checkpoint
+		if s.resumeState != nil {
+			seed = s.resumeState.Frontier
+		}
+		s.frontier = newFrontierPlugin(s.attempt, seed)
+		s.cluster.AddSchedulerPlugin(s.frontier)
+		s.cluster.AddWorkerPlugin(s.frontier)
 	}
 
 	// Arm fault injection before anything starts so kills scheduled at early
@@ -317,22 +456,34 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 	if cfg.ChaosSpec != "" {
 		plan, err := chaos.Parse(cfg.ChaosSpec)
 		if err != nil {
+			_ = s.Close()
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		ctl := chaos.NewController(plan)
-		if err := ctl.ArmWorkerFaults(k, cluster, len(cluster.Workers())); err != nil {
+		if err := ctl.ArmWorkerFaults(s.k, s.cluster, len(s.cluster.Workers())); err != nil {
+			_ = s.Close()
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		if clu != nil {
-			if err := ctl.ArmClusterFaults(k, clu); err != nil {
+		if s.clu != nil {
+			if err := ctl.ArmClusterFaults(s.k, s.clu); err != nil {
+				_ = s.Close()
 				return nil, fmt.Errorf("core: %w", err)
 			}
-			ctl.ArmBroker(clu)
+			ctl.ArmBroker(s.clu)
 		} else {
 			if len(plan.Brokers) > 0 {
+				_ = s.Close()
 				return nil, fmt.Errorf("core: chaos broker directive requires ClusterBrokers > 0")
 			}
 			ctl.ArmBroker(broker)
+		}
+		ctl.ArmSchedulerFaults(s.k, s.crash)
+		if kills := ctl.TaskTriggeredSchedulerKills(); len(kills) > 0 {
+			byKey := make(map[string]chaos.SchedulerKill, len(kills))
+			for _, kk := range kills {
+				byKey[kk.AtTask] = kk
+			}
+			s.cluster.AddWorkerPlugin(&taskKillPlugin{kills: byKey, crash: s.crash})
 		}
 	}
 
@@ -340,134 +491,207 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 	// the run starts, so it consumes the provenance topics while the
 	// workflow executes. Its final aggregates equal the post-mortem
 	// PERFRECUP views (the equivalence invariant, see internal/live).
-	var monitor *live.Monitor
-	var liveSrv *live.Server
-	if cfg.LiveMonitor && clu == nil {
-		monitor = live.NewMonitor(broker, cfg.LiveOptions)
+	if cfg.LiveMonitor && s.clu == nil {
+		s.monitor = live.NewMonitor(broker, cfg.LiveOptions)
 		slots := cfg.Platform.Nodes * cfg.Dask.WorkersPerNode * cfg.Dask.ThreadsPerWorker
-		monitor.Aggregator().SetMeta(wf.Name(), cfg.Seed, slots)
+		s.monitor.Aggregator().SetMeta(wf.Name(), cfg.Seed, slots)
 		if cfg.LiveHTTPAddr != "" {
 			var err error
-			liveSrv, err = live.Serve(cfg.LiveHTTPAddr, monitor)
+			s.liveSrv, err = live.Serve(cfg.LiveHTTPAddr, s.monitor)
 			if err != nil {
-				monitor.Stop()
+				_ = s.Close()
 				return nil, err
 			}
 		}
 	}
-	finishedRun := false
-	defer func() {
-		if finishedRun {
-			return
-		}
-		// Error path: tear the monitor down without a final Summary.
-		if liveSrv != nil {
-			liveSrv.Close()
-		}
-		if monitor != nil {
-			monitor.Stop()
-		}
-	}()
+	return s, nil
+}
 
-	env := &Env{Kernel: k, Platform: plat, PFS: fsys, FS: px, Cluster: cluster, RNG: k.RNG("workflow")}
+// crash is the coordinator-kill hook: the chaos "scheduler" directive calls
+// it (possibly more than once — the first kill wins) to model kill -9 of the
+// whole session. It freezes the virtual clock and stops the kernel; Execute
+// then surfaces a CrashError without flushing producers, so events buffered
+// in unflushed batches are lost exactly as a real SIGKILL would lose them.
+func (s *Session) crash(chaos.SchedulerKill) {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.crashAt = s.k.Now()
+	s.k.Stop()
+}
+
+// taskKillPlugin fires a coordinator kill when a named task's execution
+// record is observed (the chaos "scheduler at-task=KEY" directive).
+type taskKillPlugin struct {
+	dask.NopWorkerPlugin
+	kills map[string]chaos.SchedulerKill
+	crash func(chaos.SchedulerKill)
+}
+
+func (p *taskKillPlugin) TaskExecuted(e dask.TaskExecution) {
+	if kill, ok := p.kills[string(e.Key)]; ok {
+		p.crash(kill)
+	}
+}
+
+// Execute stages and runs the workflow and assembles the run's artifacts.
+// A chaos-killed coordinator returns a *CrashError; the broker and data dir
+// are left exactly as the crash found them (resume with SessionConfig.
+// ResumeFrom). Execute does not close the session — on success the returned
+// artifacts keep the broker readable, and Close remains the caller's.
+func (s *Session) Execute() (*RunArtifacts, error) {
+	cfg, wf, k := s.cfg, s.wf, s.k
+
+	// The attempt lineage is the fencing record between incarnations:
+	// appended (uncompleted) before anything runs, completed only at clean
+	// end. A crash leaves the open entry behind as evidence. The partial
+	// metadata written alongside makes a crashed dir self-describing, so
+	// taskprov resume can rebuild this configuration from it.
+	if cfg.MofkaDataDir != "" {
+		_, err := resume.AppendAttempt(cfg.MofkaDataDir, resume.Attempt{
+			Attempt:      s.attempt,
+			ResumedFrom:  s.resumedFrom,
+			StartSeconds: k.Now().Seconds(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		meta := s.buildMeta(0, 0)
+		p := filepath.Join(cfg.MofkaDataDir, "metadata.json")
+		if err := os.WriteFile(p, EncodeMetadata(meta), 0o644); err != nil {
+			return nil, fmt.Errorf("core: persist metadata: %w", err)
+		}
+	}
+
+	env := &Env{Kernel: k, Platform: s.plat, PFS: s.fsys, FS: s.px, Cluster: s.cluster, RNG: k.RNG("workflow")}
 	wf.Stage(env)
 
-	cluster.Start()
+	if st := s.resumeState; st != nil {
+		// Rebuild what the crashed attempts left behind. The PFS is staged
+		// fresh, then the completed tasks' recorded file effects are replayed
+		// in completion order (last writer wins — creates truncate), so
+		// memoized tasks' outputs exist without re-running them. Tasks whose
+		// records were lost re-run and redo their I/O themselves.
+		for _, fe := range st.FileEffects {
+			s.fsys.CreateNow(fe.Path, fe.SizeAfter)
+		}
+		s.cluster.SeedResume(st.Memos, st.DoneGraphs)
+		if s.collector != nil {
+			s.collector.pushWarning(dask.Warning{
+				Kind:   dask.WarnSessionResumed,
+				Worker: "scheduler",
+				At:     k.Now(),
+				Message: fmt.Sprintf("attempt %d resumed from attempt %d: %d tasks memoized, %d graphs already done",
+					s.attempt, s.resumedFrom, len(st.Memos), len(st.DoneGraphs)),
+			})
+		}
+	}
+
+	if s.frontier != nil && cfg.CheckpointInterval >= 0 {
+		interval := cfg.CheckpointInterval
+		if interval == 0 {
+			interval = DefaultCheckpointInterval
+		}
+		s.stopCheckpoint = k.Every(sim.Time(interval), func() {
+			if err := resume.WriteCheckpoint(cfg.MofkaDataDir, s.frontier.snapshot(k.Now())); err != nil && s.collector != nil {
+				s.collector.pushWarning(dask.Warning{
+					Kind: dask.WarnCheckpointFailed, Worker: "scheduler",
+					At: k.Now(), Message: err.Error(),
+				})
+			}
+		})
+	}
+
+	s.cluster.Start()
 	var start, end sim.Time
 	finished := false
 	k.Go(func(p *sim.Proc) {
-		cl := cluster.Client()
+		cl := s.cluster.Client()
 		start = p.Now()
-		cl.WaitForWorkers(p, len(cluster.Workers()))
+		cl.WaitForWorkers(p, len(s.cluster.Workers()))
 		wf.Run(p, cl, env)
 		end = p.Now()
 		finished = true
 		k.Stop()
 	})
 	k.Run()
+	if s.stopCheckpoint != nil {
+		s.stopCheckpoint()
+		s.stopCheckpoint = nil
+	}
+	if s.crashed {
+		// kill -9: no flush, no final checkpoint, no lineage completion.
+		// Whatever the producers had batched but not appended is gone.
+		return nil, &CrashError{At: s.crashAt, DataDir: cfg.MofkaDataDir, Attempt: s.attempt}
+	}
 	if !finished {
 		return nil, fmt.Errorf("core: workflow %q deadlocked at %v (%d events pending)", wf.Name(), k.Now(), k.Pending())
 	}
 
-	art := &RunArtifacts{Broker: broker, Collector: collector, Cluster: clu, WallTime: end - start}
-	if collector != nil {
-		if err := collector.Flush(); err != nil {
+	if s.resumeState != nil {
+		// Blobs revived for the resumed frontier but never demanded by the
+		// remaining work are swept now, emitting their frees into the stream,
+		// so merged residency drains to the uninterrupted baseline.
+		s.cluster.ReleaseResumeOrphans()
+	}
+
+	art := &RunArtifacts{Broker: s.broker, Collector: s.collector, Cluster: s.clu, WallTime: end - start}
+	if s.collector != nil {
+		if err := s.collector.Flush(); err != nil {
 			return nil, err
 		}
 	}
-	if clu != nil {
+	if s.clu != nil {
 		// The cluster-health lane: every replication/failover event (broker
 		// dead, leader elected, catch-up, under-replication, rebalance) is
 		// recorded on the warnings topic so perfrecup and live render the
 		// failover timeline from the provenance stream itself. Drained after
 		// the final flush so the append-time events are all present.
-		if collector != nil {
-			for _, ev := range clu.Events() {
-				collector.pushWarning(clusterWarning(ev))
+		if s.collector != nil {
+			for _, ev := range s.clu.Events() {
+				s.collector.pushWarning(clusterWarning(ev))
 			}
-			if err := collector.Flush(); err != nil {
+			if err := s.collector.Flush(); err != nil {
 				return nil, err
 			}
 		}
 		// All analyses read the merged view: acknowledged prefixes of every
 		// partition plus max-merged consumer cursors, materialized as a
 		// standalone in-memory broker.
-		view, err := clu.ReadView()
+		view, err := s.clu.ReadView()
 		if err != nil {
 			return nil, fmt.Errorf("core: cluster read view: %w", err)
 		}
 		art.Broker = view
 	}
-	for _, rt := range runtimes {
+	for _, rt := range s.runtimes {
 		art.DarshanLogs = append(art.DarshanLogs, rt.Snapshot())
 	}
-	if cfg.LiveMonitor && clu != nil {
+	if cfg.LiveMonitor && s.clu != nil {
 		// Cluster runs attach the monitor to the merged read view once the
 		// acknowledged prefixes are final; the Summary still satisfies the
 		// live/post-mortem equivalence invariant.
-		monitor = live.NewMonitor(art.Broker, cfg.LiveOptions)
+		s.monitor = live.NewMonitor(art.Broker, cfg.LiveOptions)
 		slots := cfg.Platform.Nodes * cfg.Dask.WorkersPerNode * cfg.Dask.ThreadsPerWorker
-		monitor.Aggregator().SetMeta(wf.Name(), cfg.Seed, slots)
+		s.monitor.Aggregator().SetMeta(wf.Name(), cfg.Seed, slots)
 	}
-	if monitor != nil {
-		sum := monitor.Finish(art.DarshanLogs, (end - start).Seconds())
+	if s.monitor != nil {
+		sum := s.monitor.Finish(art.DarshanLogs, (end - start).Seconds())
 		art.Live = &sum
-		if liveSrv != nil {
-			liveSrv.Close()
+		if s.liveSrv != nil {
+			if err := s.liveSrv.Close(); err != nil {
+				return nil, err
+			}
+			s.liveSrv = nil
 		}
+		s.monitor = nil
 	}
-	finishedRun = true
-	dxtBuf := cfg.DXTBufferSegments
-	if dxtBuf <= 0 {
-		dxtBuf = darshan.DefaultDXTBufferSegments
-	}
-	art.Meta = RunMetadata{
-		JobID:    cfg.JobID,
-		Workflow: wf.Name(),
-		Seed:     cfg.Seed,
-		Platform: plat.Describe(),
-		Storage:  fsys.Describe(),
-		Software: DefaultSoftwareStack(),
-		Job: JobConfig{
-			Nodes:            cfg.Platform.Nodes,
-			WorkersPerNode:   cfg.Dask.WorkersPerNode,
-			ThreadsPerWorker: cfg.Dask.ThreadsPerWorker,
-			Queue:            "prod",
-			Script:           jobScript(cfg, wf.Name()),
-		},
-		DaskConfig: DescribeDaskConfig(cluster.Config()),
-		Instrumentation: InstrumentationConfig{
-			DXTEnabled:         cfg.DarshanDXT,
-			DXTBufferSegments:  dxtBuf,
-			MofkaBatchSize:     cfg.MofkaBatchSize,
-			MofkaDataDir:       cfg.MofkaDataDir,
-			ClusterBrokers:     cfg.ClusterBrokers,
-			ClusterReplication: cfg.ClusterReplication,
-			Chaos:              cfg.ChaosSpec,
-		},
-		StartSeconds: start.Seconds(),
-		EndSeconds:   end.Seconds(),
-		WallSeconds:  (end - start).Seconds(),
+	art.Meta = s.buildMeta(start, end)
+	art.Proxy = s.cluster.ProxyStats()
+	art.Files = make(map[string]int64)
+	for _, p := range s.fsys.List("/") {
+		art.Files[p] = s.fsys.Lookup(p).Size
 	}
 	if !cfg.DisableCollection {
 		// The critical-path digest rides on every instrumented run; an
@@ -481,11 +705,19 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		// Make the data directory self-describing: with metadata.json next
 		// to topics/ (or cluster.json), perfrecup can analyze the event log
 		// post-mortem without the JSONL run directory.
-		if clu != nil {
-			if err := clu.Sync(); err != nil {
+		if s.clu != nil {
+			if err := s.clu.Sync(); err != nil {
 				return nil, err
 			}
-		} else if err := broker.Sync(); err != nil {
+		} else if err := s.broker.Sync(); err != nil {
+			return nil, err
+		}
+		if s.frontier != nil {
+			if err := resume.WriteCheckpoint(cfg.MofkaDataDir, s.frontier.snapshot(k.Now())); err != nil {
+				return nil, err
+			}
+		}
+		if err := resume.CompleteAttempt(cfg.MofkaDataDir, s.attempt, end.Seconds()); err != nil {
 			return nil, err
 		}
 		p := filepath.Join(cfg.MofkaDataDir, "metadata.json")
@@ -495,6 +727,120 @@ func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArti
 		if err := art.WriteDarshanLogs(cfg.MofkaDataDir); err != nil {
 			return nil, fmt.Errorf("core: persist darshan logs: %w", err)
 		}
+	}
+	return art, nil
+}
+
+// buildMeta assembles the run's metadata chart; zero start/end produce the
+// partial record written at session start (WallSeconds 0 marks it
+// in-progress for post-mortem readers).
+func (s *Session) buildMeta(start, end sim.Time) RunMetadata {
+	cfg := s.cfg
+	dxtBuf := cfg.DXTBufferSegments
+	if dxtBuf <= 0 {
+		dxtBuf = darshan.DefaultDXTBufferSegments
+	}
+	m := RunMetadata{
+		JobID:    cfg.JobID,
+		Workflow: s.wf.Name(),
+		Seed:     cfg.Seed,
+		Platform: s.plat.Describe(),
+		Storage:  s.fsys.Describe(),
+		Software: DefaultSoftwareStack(),
+		Job: JobConfig{
+			Nodes:            cfg.Platform.Nodes,
+			WorkersPerNode:   cfg.Dask.WorkersPerNode,
+			ThreadsPerWorker: cfg.Dask.ThreadsPerWorker,
+			Queue:            "prod",
+			Script:           jobScript(cfg, s.wf.Name()),
+		},
+		DaskConfig: DescribeDaskConfig(s.cluster.Config()),
+		Instrumentation: InstrumentationConfig{
+			DXTEnabled:         cfg.DarshanDXT,
+			DXTBufferSegments:  dxtBuf,
+			MofkaBatchSize:     cfg.MofkaBatchSize,
+			MofkaDataDir:       cfg.MofkaDataDir,
+			ClusterBrokers:     cfg.ClusterBrokers,
+			ClusterReplication: cfg.ClusterReplication,
+			Chaos:              cfg.ChaosSpec,
+		},
+		StartSeconds: start.Seconds(),
+		EndSeconds:   end.Seconds(),
+		WallSeconds:  (end - start).Seconds(),
+	}
+	if s.attempt > 1 {
+		m.Attempt = s.attempt
+		m.ResumedFrom = s.resumedFrom
+	}
+	return m
+}
+
+// Close releases everything the session owns: the live endpoint and monitor,
+// the checkpoint ticker, and — when the session created them — the broker or
+// broker cluster (closing a durable broker fsyncs acknowledged events;
+// already-published events remain readable, see mofka.Broker.Close). It is
+// idempotent, safe on a partially-constructed session, and joins every
+// close error.
+func (s *Session) Close() error {
+	if s == nil || s.closed {
+		return nil
+	}
+	s.closed = true
+	var errs []error
+	if s.liveSrv != nil {
+		if err := s.liveSrv.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		s.liveSrv = nil
+	}
+	if s.monitor != nil {
+		s.monitor.Stop()
+		s.monitor = nil
+	}
+	if s.stopCheckpoint != nil {
+		s.stopCheckpoint()
+		s.stopCheckpoint = nil
+	}
+	if s.clu != nil {
+		if err := s.clu.Close(); err != nil {
+			errs = append(errs, err)
+		}
+		s.clu = nil
+	}
+	if s.ownBroker && s.broker != nil {
+		if err := s.broker.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Run executes the workflow under full instrumentation and returns the run's
+// artifacts.
+func Run(cfg SessionConfig, wf Workflow) (*RunArtifacts, error) {
+	return RunOnBroker(cfg, wf, nil)
+}
+
+// RunOnBroker is Run with an externally supplied Mofka broker, so in-situ
+// consumers (started before the run, possibly in other goroutines or behind
+// a TCP endpoint) share the event stream. A nil broker creates a private
+// in-memory one.
+//
+// On error — including a chaos coordinator kill — the session is closed
+// (releasing durable WAL handles so a resume can reopen the data dir in the
+// same process); on success it is left open so the returned artifacts'
+// broker remains fully usable.
+func RunOnBroker(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*RunArtifacts, error) {
+	s, err := NewSession(cfg, wf, broker)
+	if err != nil {
+		return nil, err
+	}
+	art, err := s.Execute()
+	if err != nil {
+		if cerr := s.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	return art, nil
 }
@@ -587,11 +933,17 @@ func (a *RunArtifacts) DistinctTasks() (int, error) {
 	return len(set), nil
 }
 
-// TaskGraphs counts completed task graphs — Table I's "Task graphs".
+// TaskGraphs counts distinct completed task graphs — Table I's "Task
+// graphs". Distinct by graph ID: a resumed run's merged stream can carry a
+// graph's done event from more than one attempt.
 func (a *RunArtifacts) TaskGraphs() (int, error) {
 	metas, err := DrainTopic(a.Broker, TopicGraphs)
 	if err != nil {
 		return 0, err
 	}
-	return len(metas), nil
+	set := map[int]struct{}{}
+	for _, m := range metas {
+		set[int(num(m, "graph_id"))] = struct{}{}
+	}
+	return len(set), nil
 }

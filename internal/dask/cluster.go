@@ -31,6 +31,11 @@ type Cluster struct {
 	// cfg.ProxyThresholdBytes == 0 (direct transfers only).
 	proxy *proxyPlane
 
+	// resumeSeeded tracks blobs SeedResume published whose keys no
+	// resubmitted graph has (yet) claimed; whatever remains at run end is an
+	// orphan ReleaseResumeOrphans frees.
+	resumeSeeded map[TaskKey]bool
+
 	// controlBytes accumulates every byte that crosses the scheduler's
 	// control path — control messages, proxy references, and (in direct mode)
 	// gathered payloads relayed through the scheduler. The proxy benchmark

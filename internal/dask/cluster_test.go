@@ -2,6 +2,7 @@ package dask
 
 import (
 	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -437,7 +438,7 @@ func TestDeterministicForSeed(t *testing.T) {
 		t.Fatalf("different execution counts: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("execution %d differs:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}

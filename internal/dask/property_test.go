@@ -2,6 +2,7 @@ package dask
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -117,7 +118,7 @@ func TestRandomDAGDeterminism(t *testing.T) {
 		t.Fatalf("execution counts differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if a[i] != b[i] {
+		if !reflect.DeepEqual(a[i], b[i]) {
 			t.Fatalf("execution %d differs:\n%+v\n%+v", i, a[i], b[i])
 		}
 	}

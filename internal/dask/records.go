@@ -62,6 +62,19 @@ type TaskExecution struct {
 	Stop       sim.Time `json:"stop"`
 	OutputSize int64    `json:"output_size"`
 	GraphID    int      `json:"graph_id"`
+	// Files records the PFS files this execution opened for writing and
+	// their sizes once the body finished, sorted by path. Run resumption
+	// replays these effects to rebuild the filesystem state a memoized
+	// (not re-executed) task would otherwise have left behind.
+	Files []FileEffect `json:"files,omitempty"`
+}
+
+// FileEffect is one write-side filesystem effect of a task execution: the
+// path the body opened for writing and the file's size when the body
+// finished.
+type FileEffect struct {
+	Path      string `json:"path"`
+	SizeAfter int64  `json:"size_after"`
 }
 
 // Transfer is one dependency movement between workers (an "incoming
@@ -144,13 +157,22 @@ const (
 	// swept during eviction; dangling references miss and drive
 	// recomputation.
 	WarnBlobReclaimed WarningKind = "proxy_blob_reclaimed"
+	// WarnSessionResumed: a new session incarnation resumed a crashed run
+	// from its provenance, memoizing completed work. The event marks the
+	// attempt boundary in the merged timeline.
+	WarnSessionResumed WarningKind = "session_resumed"
 )
+
+// WarnCheckpointFailed: the session failed to write a frontier checkpoint.
+// Not a recovery event — the run continues; a later resume just replays a
+// longer WAL tail.
+const WarnCheckpointFailed WarningKind = "checkpoint_failed"
 
 // IsRecovery reports whether the kind is one of the failure/recovery events
 // (as opposed to the paper's runtime-pathology warnings).
 func (k WarningKind) IsRecovery() bool {
 	switch k {
-	case WarnWorkerLost, WarnWorkerRejoined, WarnTaskRescheduled, WarnKeyRecomputed, WarnProducerDegraded, WarnBlobReclaimed:
+	case WarnWorkerLost, WarnWorkerRejoined, WarnTaskRescheduled, WarnKeyRecomputed, WarnProducerDegraded, WarnBlobReclaimed, WarnSessionResumed:
 		return true
 	}
 	return false

@@ -1,0 +1,144 @@
+package dask
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ResumeMemo is the per-task verdict a resumed session derives from the
+// previous attempt's provenance: the task completed, produced Size bytes,
+// and its output either still lives in the proxy store under Owner
+// (Resolvable) or died with the old session and must be recomputed on
+// demand.
+type ResumeMemo struct {
+	Size       int64
+	Resolvable bool
+	Owner      int // owning worker rank for resolvable blobs
+}
+
+// RankFromAddr recovers a worker's rank from its Dask-style address
+// (tcp://<hostname>:<40000+rank>). Returns -1 when the address does not
+// parse — provenance from a foreign topology, or the scheduler pseudo-addr.
+func RankFromAddr(addr string) int {
+	i := strings.LastIndexByte(addr, ':')
+	if i < 0 {
+		return -1
+	}
+	port, err := strconv.Atoi(addr[i+1:])
+	if err != nil || port < 40000 {
+		return -1
+	}
+	return port - 40000
+}
+
+// SeedResume installs the previous attempt's completion frontier before
+// Start: memoized tasks are recognized at graph registration (completed
+// tasks skip execution; resolvable outputs re-enter distributed memory as
+// live proxy blobs owned by the recorded rank), and graphs listed in
+// doneGraphs suppress their duplicate graph-done provenance event. Blobs are
+// republished silently — the publish already happened in attempt N-1 and is
+// in the merged log; re-emitting it would double-count the event stream.
+func (c *Cluster) SeedResume(memos map[TaskKey]ResumeMemo, doneGraphs []int) {
+	if c.scheduler.started {
+		panic("dask: SeedResume after Start")
+	}
+	memo := make(map[TaskKey]ResumeMemo, len(memos))
+	keys := make([]TaskKey, 0, len(memos))
+	for k, m := range memos {
+		memo[k] = m
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		m := memo[key]
+		if !m.Resolvable {
+			continue
+		}
+		if c.proxy == nil || m.Owner < 0 || m.Owner >= len(c.workers) || m.Size <= 0 {
+			m.Resolvable = false
+			memo[key] = m
+			continue
+		}
+		w := c.workers[m.Owner]
+		c.proxy.store.Publish(string(key), m.Owner, w.incarnation, m.Size)
+		w.data[key] = m.Size
+		w.memBytes += m.Size
+		c.scheduler.workers[m.Owner].memory += m.Size
+		if c.resumeSeeded == nil {
+			c.resumeSeeded = make(map[TaskKey]bool)
+		}
+		c.resumeSeeded[key] = true
+	}
+	c.scheduler.memo = memo
+	done := make(map[int]bool, len(doneGraphs))
+	for _, id := range doneGraphs {
+		done[id] = true
+	}
+	c.scheduler.doneGraphs = done
+}
+
+// ReleaseResumeOrphans settles the attempt-long references resume holds on
+// revived blobs so residency drains to what an uninterrupted run leaves
+// behind. Client-held results (gathered keys) and graph outputs stay
+// resident, exactly as they would after a crash-free run; every other pinned
+// blob — a survivor whose consumers all finished either before the crash or
+// during the resumed attempt — is freed, as the uninterrupted run's refcount
+// drain would have done. Blobs SeedResume published whose keys no
+// resubmitted graph ever claimed are freed too. Intended after the run
+// completes, when no scheduler message is in flight. Emits normal free
+// events so resident accounting in the merged provenance stays balanced.
+func (c *Cluster) ReleaseResumeOrphans() (blobs int, bytes int64) {
+	if c.proxy == nil {
+		return 0, 0
+	}
+	free := func(key TaskKey) {
+		if freed, size := c.proxy.store.Free(string(key)); freed {
+			c.proxy.emit(ProxyOpFree, key, "scheduler", size, 0)
+			blobs++
+			bytes += size
+		}
+	}
+	for _, key := range c.scheduler.resumePins {
+		ts := c.scheduler.tasks[key]
+		if ts != nil && (ts.clientRef || ts.isOutput) {
+			// Drop the resume pin; the client/output reference keeps the
+			// blob resident, matching an uninterrupted run.
+			c.proxy.store.Release(string(key))
+			continue
+		}
+		free(key)
+	}
+	c.scheduler.resumePins = nil
+	orphans := make([]TaskKey, 0, len(c.resumeSeeded))
+	for key := range c.resumeSeeded {
+		orphans = append(orphans, key)
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, key := range orphans {
+		if c.proxy.store.Refs(string(key)) == 0 {
+			free(key)
+		}
+	}
+	c.resumeSeeded = nil
+	return blobs, bytes
+}
+
+// resumeMemo returns the memo for key, re-validated against the seeded
+// owner: if the owner was killed again between seeding and graph
+// registration its blob was wiped with it, demoting the memo to
+// recompute-on-demand. (Checked through the worker's data map, not
+// Store.Resolve, so validation does not perturb hit/miss statistics.)
+func (s *Scheduler) resumeMemo(key TaskKey) (ResumeMemo, bool) {
+	m, ok := s.memo[key]
+	if !ok {
+		return ResumeMemo{}, false
+	}
+	if m.Resolvable {
+		w := s.c.workers[m.Owner]
+		if s.c.proxy == nil || !w.alive || !w.HasData(key) {
+			m.Resolvable = false
+		}
+	}
+	return m, true
+}

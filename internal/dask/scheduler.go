@@ -40,6 +40,17 @@ type Scheduler struct {
 	group      *ssg.Group
 	memberRank map[ssg.MemberID]int
 
+	// memo holds the previous attempt's completion frontier when this
+	// scheduler is resuming a crashed run (SeedResume): tasks found here at
+	// graph registration are memoized instead of re-executed. doneGraphs
+	// lists graphs whose graph-done provenance event already made it to the
+	// previous attempt's log, suppressing a duplicate emission.
+	memo       map[TaskKey]ResumeMemo
+	doneGraphs map[int]bool
+	// resumePins lists keys whose revived blobs carry an attempt-long pin
+	// reference (see schedTask.resumePinned), dropped after the run.
+	resumePins []TaskKey
+
 	nextPriority int
 	stealCount   int
 	lostCount    int
@@ -79,6 +90,16 @@ type schedTask struct {
 
 	pendingDependents int
 	isOutput          bool
+
+	// resumePinned marks a memoized task whose surviving blob SeedResume
+	// revived: the blob stays resident (and the task in memory) for the whole
+	// resumed attempt so later recomputation of lost downstream results never
+	// re-executes it. The pin reference is dropped by ReleaseResumeOrphans.
+	resumePinned bool
+	// clientRef marks a proxied key a client gather has resolved: the client
+	// holds the result for the rest of the run, mirrored by one blob
+	// reference that is never dropped (and never freed out from under it).
+	clientRef bool
 
 	// suspicious counts how many times a worker died while running this
 	// task; past AllowedFailures the task erres instead of rescheduling
@@ -483,6 +504,7 @@ func (s *Scheduler) handleGraph(g *Graph) {
 	}
 	order := g.Keys()
 	newTasks := make([]*schedTask, 0, len(order))
+	memoized := 0
 	for _, k := range order {
 		spec, _ := g.Task(k)
 		if _, dup := s.tasks[k]; dup {
@@ -499,7 +521,6 @@ func (s *Scheduler) handleGraph(g *Graph) {
 		}
 		s.nextPriority++
 		s.tasks[k] = ts
-		newTasks = append(newTasks, ts)
 
 		for _, p := range s.c.schedPlugins {
 			p.TaskAdded(TaskMeta{
@@ -507,6 +528,41 @@ func (s *Scheduler) handleGraph(g *Graph) {
 				GraphID: g.ID, Deps: spec.Deps, At: now,
 			})
 		}
+
+		if m, ok := s.resumeMemo(k); ok {
+			// Completed in a previous attempt: memoize instead of
+			// re-executing. Resolvable outputs re-enter distributed memory
+			// backed by their surviving proxy blob; lost ones stay released
+			// and are recomputed only if a live consumer (or gather) demands
+			// them. Dependency edges are not wired — the previous attempt
+			// already consumed them.
+			ts.size = m.Size
+			ts.completedOnce = true
+			memoized++
+			if m.Resolvable {
+				ts.viaProxy = true
+				ts.resumePinned = true
+				ts.whoHas[m.Owner] = struct{}{}
+				s.transition(ts, StateMemory, "resume-memo")
+				// Pin the surviving blob for the whole attempt (plus the usual
+				// output reference): the resumed run cannot predict which lost
+				// downstream results a later gather will recompute, and an
+				// eagerly freed survivor would force re-executing a task whose
+				// output was still resolvable. ReleaseResumeOrphans drops the
+				// pins after the run.
+				n := 1
+				if ts.isOutput {
+					n++
+				}
+				s.c.proxy.retain(k, n)
+				s.resumePins = append(s.resumePins, k)
+				delete(s.c.resumeSeeded, k)
+			} else {
+				s.transition(ts, StateReleased, "resume-lost")
+			}
+			continue
+		}
+		newTasks = append(newTasks, ts)
 	}
 	// Wire dependencies, treating deps absent from this graph as externals
 	// that must already be in distributed memory.
@@ -532,6 +588,22 @@ func (s *Scheduler) handleGraph(g *Graph) {
 		if len(ts.waitingOn) == 0 {
 			s.maybeSchedule(ts)
 		}
+	}
+	// Revive completed-but-lost dependencies that live consumers wired:
+	// their outputs died with the crashed session, so they are the
+	// deliberately recomputed tail. Runs after the update-graph transitions
+	// so every still-released task reachable here has completed once.
+	for _, ts := range newTasks {
+		for _, d := range ts.spec.Deps {
+			if dt := s.tasks[d]; dt.state == StateReleased && dt.completedOnce {
+				s.reviveReleased(dt)
+			}
+		}
+	}
+	// Memoized tasks count as finished for graph completion; a fully
+	// memoized graph completes (and notifies the client) right here.
+	for i := 0; i < memoized; i++ {
+		s.finishGraphTask(g.ID)
 	}
 }
 
@@ -768,8 +840,14 @@ func (s *Scheduler) finishGraphTask(graphID int) {
 		return
 	}
 	now := s.c.kernel.Now()
-	for _, p := range s.c.schedPlugins {
-		p.GraphDone(graphID, now)
+	if !s.doneGraphs[graphID] {
+		// A resumed run suppresses the plugin event for graphs whose done
+		// event already reached the previous attempt's log — the merged
+		// provenance keeps exactly one done record per graph. The client is
+		// always notified (it is waiting on this attempt's submission).
+		for _, p := range s.c.schedPlugins {
+			p.GraphDone(graphID, now)
+		}
 	}
 	errMsg := gs.errMsg
 	s.c.control(s.node, s.c.client.node, func() { s.c.client.graphDone(graphID, errMsg) })
@@ -824,7 +902,7 @@ func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Ti
 		if dt.viaProxy {
 			s.c.proxy.release(d)
 		}
-		if dt.pendingDependents <= 0 && !dt.isOutput && dt.state == StateMemory {
+		if dt.pendingDependents <= 0 && !dt.isOutput && !dt.resumePinned && !dt.clientRef && dt.state == StateMemory {
 			s.release(dt)
 		}
 	}
@@ -877,6 +955,12 @@ func (s *Scheduler) handleGather(key TaskKey, deliver func(size int64)) {
 		s.c.control(s.node, s.c.client.node, func() { deliver(0) })
 		return
 	}
+	if ts.state == StateReleased && ts.completedOnce {
+		// A completed-then-lost key (memoized from a previous attempt, or
+		// refcount-released) being gathered: recompute it on demand, then
+		// fall into the retry loop until it lands back in memory.
+		s.reviveReleased(ts)
+	}
 	if ts.state != StateMemory {
 		retry()
 		return
@@ -900,6 +984,13 @@ func (s *Scheduler) handleGather(key TaskKey, deliver func(size int64)) {
 	}
 	size := ts.size
 	if ts.viaProxy {
+		if !ts.clientRef {
+			// The client holds the gathered result from here on: one blob
+			// reference it never drops, so later consumers draining their
+			// refcounts cannot destroy a client-held blob.
+			ts.clientRef = true
+			s.c.proxy.retain(key, 1)
+		}
 		s.c.addControlBytes(s.c.cfg.ProxyRefBytes)
 		s.c.control(s.node, s.c.client.node, func() {
 			demand := s.c.kernel.Now()

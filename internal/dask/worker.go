@@ -1,6 +1,9 @@
 package dask
 
 import (
+	"sort"
+
+	"taskprov/internal/pfs"
 	"taskprov/internal/platform"
 	"taskprov/internal/posixio"
 	"taskprov/internal/sim"
@@ -519,6 +522,7 @@ func (w *Worker) execute(wt *wTask, slot int) {
 			Key: wt.spec.Key, Worker: w.addr, Hostname: w.node.Hostname,
 			ThreadID: tid, Start: start, Stop: stop,
 			OutputSize: ctx.outputSize, GraphID: wt.graphID,
+			Files: ctx.fileEffects(),
 		}
 		for _, pl := range w.c.workerPlugins {
 			pl.TaskExecuted(rec)
@@ -645,6 +649,10 @@ type TaskContext struct {
 	spec       *TaskSpec
 	outputSize int64
 	failure    string
+	// wrotePaths collects the paths the body opened for writing, in open
+	// order (deduplicated), so the completion record can carry the task's
+	// filesystem effects.
+	wrotePaths []string
 }
 
 // Key returns the executing task's key.
@@ -694,7 +702,41 @@ func (ctx *TaskContext) Compute(nominal sim.Time) {
 // Open opens a file through the cluster's instrumented POSIX layer on
 // behalf of this task's thread.
 func (ctx *TaskContext) Open(path string, flags int) (*posixio.File, error) {
+	if flags&(posixio.WRONLY|posixio.CREATE) != 0 {
+		norm := pfs.Normalize(path)
+		seen := false
+		for _, p := range ctx.wrotePaths {
+			if p == norm {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ctx.wrotePaths = append(ctx.wrotePaths, norm)
+		}
+	}
 	return ctx.w.c.fs.Open(ctx.proc, ctx.w.tracer, ctx.tid, path, flags)
+}
+
+// fileEffects snapshots the sizes of every file this task opened for
+// writing, sorted by path — the write-side filesystem effects recorded on
+// the execution record so resumption can replay them without re-running the
+// body.
+func (ctx *TaskContext) fileEffects() []FileEffect {
+	if len(ctx.wrotePaths) == 0 {
+		return nil
+	}
+	effects := make([]FileEffect, 0, len(ctx.wrotePaths))
+	fsys := ctx.w.c.fs.PFS()
+	for _, p := range ctx.wrotePaths {
+		size := int64(0)
+		if f := fsys.Lookup(p); f != nil {
+			size = f.Size
+		}
+		effects = append(effects, FileEffect{Path: p, SizeAfter: size})
+	}
+	sort.Slice(effects, func(i, j int) bool { return effects[i].Path < effects[j].Path })
+	return effects
 }
 
 // Measure runs a real Go function on the executing thread and charges its

@@ -55,7 +55,7 @@ func TestAggregatorClusterHealthLane(t *testing.T) {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(res.Body)
-	res.Body.Close()
+	_ = res.Body.Close()
 	if !strings.Contains(string(body), `taskprov_live_cluster_events_total{kind="cluster_broker_dead"} 1`) {
 		t.Fatalf("metrics missing cluster counter:\n%s", body)
 	}
@@ -114,7 +114,7 @@ func TestConsumerLagSurfaced(t *testing.T) {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(res.Body)
-	res.Body.Close()
+	_ = res.Body.Close()
 	srv.Close()
 	if !strings.Contains(string(body), `taskprov_live_consumer_lag{topic="task-executions",partition=`) {
 		t.Fatalf("metrics missing consumer lag gauge:\n%s", body)

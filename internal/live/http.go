@@ -41,7 +41,7 @@ func NewServer(src Source) *Server {
 	s.mux.HandleFunc("/events", s.handleEvents)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
+		_, _ = fmt.Fprintln(w, "ok")
 	})
 	return s
 }
@@ -58,7 +58,7 @@ func Serve(addr string, src Source) (*Server, error) {
 	}
 	s.ln = ln
 	s.srv = &http.Server{Handler: s.mux}
-	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	go func() { _ = s.srv.Serve(ln) }() // Serve always returns on Close
 	return s, nil
 }
 
@@ -82,7 +82,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(s.src.Snapshot()) //nolint:errcheck // client gone
+	_ = enc.Encode(s.src.Snapshot()) // client gone mid-write is fine
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
@@ -237,7 +237,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintf(&b, "taskprov_live_anomalies_total{kind=%q} %d\n", escapeLabel(k), byKind[k])
 		}
 	}
-	w.Write([]byte(b.String())) //nolint:errcheck // client gone
+	_, _ = w.Write([]byte(b.String())) // client gone mid-write is fine
 }
 
 // escapeLabel sanitizes a Prometheus label value (the %q wrapping handles

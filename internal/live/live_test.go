@@ -383,7 +383,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
-	res.Body.Close()
+	_ = res.Body.Close()
 	if snap.Tasks != 60 || snap.Groups["load"].Count != 60 {
 		t.Fatalf("snapshot = %+v", snap)
 	}
@@ -393,7 +393,7 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(res.Body)
-	res.Body.Close()
+	_ = res.Body.Close()
 	text := string(body)
 	for _, want := range []string{
 		"taskprov_live_tasks_total 60",
@@ -410,7 +410,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	if err != nil || res.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %v %v", res, err)
 	}
-	res.Body.Close()
+	_ = res.Body.Close()
 }
 
 func TestSSEStream(t *testing.T) {
@@ -424,7 +424,7 @@ func TestSSEStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer res.Body.Close()
+	defer func() { _ = res.Body.Close() }()
 	if ct := res.Header.Get("Content-Type"); ct != "text/event-stream" {
 		t.Fatalf("content type = %q", ct)
 	}
@@ -492,8 +492,8 @@ func TestConcurrentProducersMonitorAndReaders(t *testing.T) {
 				for _, path := range []string{"/snapshot", "/metrics"} {
 					res, err := http.Get(srv.URL + path)
 					if err == nil {
-						io.Copy(io.Discard, res.Body) //nolint:errcheck
-						res.Body.Close()
+						_, _ = io.Copy(io.Discard, res.Body)
+						_ = res.Body.Close()
 					}
 				}
 			}

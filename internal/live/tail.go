@@ -87,7 +87,7 @@ func ReplayDataDir(dir string, opts AggregatorOptions) (Summary, error) {
 			return Summary{}, err
 		}
 		l, err := darshan.ReadLog(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return Summary{}, fmt.Errorf("live: %s: %w", p, err)
 		}

@@ -159,7 +159,7 @@ func (d *Deployment) SelfCaller() (mercury.Caller, error) {
 // Shutdown stops network listeners and unregisters local endpoints.
 func (d *Deployment) Shutdown() {
 	if d.server != nil {
-		d.server.Close()
+		_ = d.server.Close()
 	}
 	if d.registry != nil && mercury.IsLocal(d.cfg.Address) {
 		d.registry.Close(d.cfg.Address)

@@ -218,7 +218,7 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() { _ = conn.Close() }()
 			s.serveConn(conn)
 		}()
 	}
@@ -324,7 +324,7 @@ func (c *Client) Call(rpc string, req []byte) ([]byte, error) {
 		if !errors.As(err, &rerr) {
 			// Transport failure: the connection state is unknown, drop it so
 			// the next call starts clean.
-			c.conn.Close()
+			_ = c.conn.Close()
 			c.conn = nil
 			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
 				return nil, fmt.Errorf("%w: %s %q after %v", ErrTimeout, c.addr, rpc, c.timeout)

@@ -47,6 +47,6 @@ func (bb brokerBus) EnsureTopic(cfg TopicConfig) (BusTopic, error) {
 
 type brokerBusTopic struct{ t *Topic }
 
-func (bt brokerBusTopic) Name() string                        { return bt.t.Name() }
-func (bt brokerBusTopic) PartitionCount() int                 { return bt.t.Partitions() }
+func (bt brokerBusTopic) Name() string                         { return bt.t.Name() }
+func (bt brokerBusTopic) PartitionCount() int                  { return bt.t.Partitions() }
 func (bt brokerBusTopic) Producer(opts ProducerOptions) Pusher { return bt.t.NewProducer(opts) }

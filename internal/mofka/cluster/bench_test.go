@@ -35,13 +35,13 @@ func benchPush(b *testing.B, push func(meta, data []byte) error, flush func() er
 // BenchmarkStandalonePushBatch is the single-broker baseline.
 func BenchmarkStandalonePushBatch(b *testing.B) {
 	broker := mofka.NewStandaloneBroker()
-	defer broker.Close()
+	defer func() { _ = broker.Close() }()
 	topic, err := broker.CreateTopic(mofka.TopicConfig{Name: "bench", Partitions: 4})
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := topic.NewProducer(mofka.ProducerOptions{BatchSize: 128})
-	defer p.Close()
+	defer func() { _ = p.Close() }()
 	benchPush(b, p.PushRaw, p.Flush)
 }
 

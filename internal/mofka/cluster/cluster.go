@@ -204,13 +204,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Brokers; i++ {
 		if _, err := c.addLocalNode(i); err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, err
 		}
 	}
 	if reopen {
 		if err := c.recoverTopics(); err != nil {
-			c.Close()
+			_ = c.Close()
 			return nil, err
 		}
 	}
@@ -432,7 +432,7 @@ func (c *Cluster) RestartBroker(id int) error {
 		b = mofka.NewStandaloneBroker()
 	} else {
 		// Close the old handle first so segment files are not double-owned.
-		old.Close() //nolint:errcheck // crash path; recovery re-reads disk
+		_ = old.Close() // crash path; recovery re-reads disk
 		b, err = mofka.NewDurableBroker(mofka.Options{DataDir: nodeDir(c.cfg.DataDir, id), WAL: c.cfg.WAL})
 		if err != nil {
 			return fmt.Errorf("cluster: restart node %d: %w", id, err)

@@ -168,11 +168,11 @@ func TestDeterministicFailoverTimeline(t *testing.T) {
 			t.Fatal(err)
 		}
 		p := pushN(t, ct, 60, mofka.ProducerOptions{BatchSize: 5})
-		c.KillBroker(1) //nolint:errcheck
-		p.Flush()       //nolint:errcheck
+		c.KillBroker(1)    //nolint:errcheck
+		p.Flush()          //nolint:errcheck
 		c.RestartBroker(1) //nolint:errcheck
-		p.Flush() //nolint:errcheck
-		p.Close() //nolint:errcheck
+		p.Flush()          //nolint:errcheck
+		p.Close()          //nolint:errcheck
 		evs := c.Events()
 		// Timestamps are wall-clock in this harness; compare structure only.
 		for i := range evs {

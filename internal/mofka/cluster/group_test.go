@@ -194,8 +194,8 @@ func TestGroupCursorsSurviveKill9(t *testing.T) {
 	// go; a third consumes but never commits.
 	consumed := make(map[string]map[int]uint64) // group -> partition -> next committed
 	for _, spec := range []struct {
-		name  string
-		take  int
+		name   string
+		take   int
 		commit bool
 	}{{"grp-a", 50, true}, {"grp-b", 100, true}, {"grp-uncommitted", 70, false}} {
 		g, err := c.ConsumerGroup(spec.name, "t", GroupOptions{})

@@ -27,7 +27,7 @@ import (
 // rendezvousWeight hashes one (topic, partition, node) triple.
 func rendezvousWeight(topic string, part, node int) uint64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d", topic, part, node)
+	_, _ = fmt.Fprintf(h, "%s|%d|%d", topic, part, node) // hash writes cannot fail
 	return h.Sum64()
 }
 

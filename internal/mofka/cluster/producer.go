@@ -137,7 +137,7 @@ func (p *Producer) flushLoop() {
 	for {
 		select {
 		case <-tick.C:
-			p.Flush() //nolint:errcheck // periodic flush retries next tick
+			_ = p.Flush() // periodic flush retries next tick
 		case <-p.stopFlusher:
 			return
 		}

@@ -236,7 +236,7 @@ func (c *Cluster) AddRemote(addr string) (int, error) {
 		return 0, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
 	if err := rep.ping(); err != nil {
-		rep.close() //nolint:errcheck // probe failed; connection is dead anyway
+		_ = rep.close() // probe failed; connection is dead anyway
 		return 0, fmt.Errorf("cluster: probe %s: %w", addr, err)
 	}
 
@@ -248,7 +248,7 @@ func (c *Cluster) AddRemote(addr string) (int, error) {
 	if c.closed {
 		c.mu.Unlock()
 		c.group.Leave(member)
-		rep.close() //nolint:errcheck
+		_ = rep.close()
 		return 0, ErrClosed
 	}
 	id := len(c.nodes)
@@ -281,7 +281,7 @@ func JoinRemote(gatewayAddr, selfAddr string, timeout time.Duration) (int, error
 	if err != nil {
 		return 0, err
 	}
-	defer cl.Close()
+	defer func() { _ = cl.Close() }()
 	if timeout > 0 {
 		cl.SetTimeout(timeout)
 	}
@@ -307,7 +307,7 @@ func Info(gatewayAddr string, timeout time.Duration) (*InfoResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer cl.Close()
+	defer func() { _ = cl.Close() }()
 	if timeout > 0 {
 		cl.SetTimeout(timeout)
 	}

@@ -200,8 +200,8 @@ func TestDurableSurvivesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.Write([]byte{0x13, 0x37, 0xde, 0xad})
-	f.Close()
+	_, _ = f.Write([]byte{0x13, 0x37, 0xde, 0xad})
+	_ = f.Close()
 
 	b2 := newDurable(t, dir)
 	defer b2.Close()
@@ -310,8 +310,8 @@ func TestPostMortemOpenIsReadOnly(t *testing.T) {
 	// Torn tail, as left by a crash.
 	segs, _ := filepath.Glob(filepath.Join(dir, "topics", "t", "p0000", "*.seg"))
 	f, _ := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
-	f.Write([]byte("torn"))
-	f.Close()
+	_, _ = f.Write([]byte("torn"))
+	_ = f.Close()
 	before, _ := os.Stat(segs[len(segs)-1])
 
 	pm, err := OpenPostMortem(dir)

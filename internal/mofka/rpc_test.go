@@ -100,12 +100,12 @@ func TestRemoteOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer srv.Close()
+	defer func() { _ = srv.Close() }()
 	cli, err := mercury.Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cli.Close()
+	defer func() { _ = cli.Close() }()
 	r := NewRemote(cli)
 	if err := r.CreateTopic(TopicConfig{Name: "net", Partitions: 1}); err != nil {
 		t.Fatal(err)

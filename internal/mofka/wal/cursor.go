@@ -79,13 +79,13 @@ func (s *CursorStore) flushLocked() error {
 	if err != nil {
 		return fmt.Errorf("wal: cursor temp file: %w", err)
 	}
-	defer os.Remove(tmp.Name())
+	defer func() { _ = os.Remove(tmp.Name()) }() // no-op after the rename
 	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("wal: write cursors: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("wal: sync cursors: %w", err)
 	}
 	if err := tmp.Close(); err != nil {

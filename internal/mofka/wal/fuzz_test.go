@@ -30,8 +30,8 @@ func validStream(n int) []byte {
 func FuzzWALRecover(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(validStream(3))
-	f.Add(validStream(2)[:10])                        // torn mid-header
-	f.Add(append(validStream(1), 0xde, 0xad, 0xbe))   // garbage tail
+	f.Add(validStream(2)[:10])                           // torn mid-header
+	f.Add(append(validStream(1), 0xde, 0xad, 0xbe))      // garbage tail
 	f.Add(append([]byte{0xff, 0xff}, validStream(1)...)) // garbage head
 	corrupt := validStream(2)
 	corrupt[len(corrupt)/2] ^= 0x40 // flipped bit inside a payload

@@ -216,7 +216,7 @@ func (l *Log) scanSegment(path string, tail bool) (records uint64, validSize int
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: open segment: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only open
 	r := bufio.NewReaderSize(f, 1<<20)
 	for {
 		_, n, err := readRecord(r, l.opts.MaxRecordBytes)
@@ -305,7 +305,7 @@ func (l *Log) applyRetentionLocked() {
 		if !drop {
 			return
 		}
-		os.Remove(oldest.path) //nolint:errcheck // retention is best-effort
+		_ = os.Remove(oldest.path) // retention is best-effort
 		total -= oldest.size
 		l.segs = l.segs[1:]
 		l.first = l.segs[0].base
@@ -447,7 +447,7 @@ func (l *Log) frameBoundary(path string, k uint64) (int64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("wal: open segment: %w", err)
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only open
 	r := bufio.NewReaderSize(f, 1<<20)
 	var size int64
 	for i := uint64(0); i < k; i++ {
@@ -509,19 +509,19 @@ func (l *Log) Replay(from uint64, fn func(off uint64, rec Record) bool) error {
 		for read < s.size {
 			rec, n, err := readRecord(r, l.opts.MaxRecordBytes)
 			if err != nil {
-				f.Close()
+				_ = f.Close()
 				return corruptAt(s.path, read, err)
 			}
 			read += n
 			if off >= from {
 				if !fn(off, rec) {
-					f.Close()
+					_ = f.Close()
 					return nil
 				}
 			}
 			off++
 		}
-		f.Close()
+		_ = f.Close() // read-only open
 	}
 	return nil
 }
@@ -539,7 +539,7 @@ func (l *Log) Close() error {
 		return nil
 	}
 	if err := l.syncLocked(); err != nil {
-		l.active.Close()
+		_ = l.active.Close() // the sync failure is the error that matters
 		return err
 	}
 	return l.active.Close()

@@ -212,8 +212,8 @@ func TestReadOnlyOpenDoesNotTruncate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f.Write([]byte("garbage torn tail"))
-	f.Close()
+	_, _ = f.Write([]byte("garbage torn tail"))
+	_ = f.Close()
 	sizeBefore, _ := os.Stat(seg)
 
 	ro := mustOpen(t, dir, Options{ReadOnly: true})
@@ -250,7 +250,9 @@ func TestInteriorCorruptionIsAnError(t *testing.T) {
 	first := glob(t, dir)[0]
 	b, _ := os.ReadFile(first)
 	b[2] ^= 0xFF // clobber the first record's length field
-	os.WriteFile(first, b, 0o644)
+	if err := os.WriteFile(first, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("open over interior corruption: %v, want ErrCorrupt", err)
 	}
@@ -408,7 +410,9 @@ func TestCursorStore(t *testing.T) {
 
 func TestCursorStoreCorruptFileErrors(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cursors.json")
-	os.WriteFile(path, []byte("{not json"), 0o644)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := OpenCursorStore(path); err == nil {
 		t.Fatal("corrupt cursor store opened")
 	}

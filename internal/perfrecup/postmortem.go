@@ -64,7 +64,7 @@ func LoadEventLog(dataDir string) (*core.RunArtifacts, error) {
 			return nil, err
 		}
 		l, err := darshan.ReadLog(f)
-		f.Close()
+		_ = f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("perfrecup: %s: %w", p, err)
 		}

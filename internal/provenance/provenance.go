@@ -73,13 +73,23 @@ func TransitionEvent(t dask.Transition) mofka.Metadata {
 	}
 }
 
-// ExecutionEvent encodes a TaskExecution as Mofka event metadata.
+// ExecutionEvent encodes a TaskExecution as Mofka event metadata. File
+// effects ride along only when the body wrote files, keeping compute-only
+// streams byte-identical to earlier runs.
 func ExecutionEvent(e dask.TaskExecution) mofka.Metadata {
-	return mofka.Metadata{
+	m := mofka.Metadata{
 		"key": string(e.Key), "worker": e.Worker, "hostname": e.Hostname,
 		"thread_id": e.ThreadID, "start": seconds(e.Start), "stop": seconds(e.Stop),
 		"output_size": e.OutputSize, "graph_id": e.GraphID,
 	}
+	if len(e.Files) > 0 {
+		files := make([]any, len(e.Files))
+		for i, f := range e.Files {
+			files[i] = map[string]any{"path": f.Path, "size_after": f.SizeAfter}
+		}
+		m["files"] = files
+	}
+	return m
 }
 
 // TransferEvent encodes a Transfer as Mofka event metadata. The proxy
@@ -172,6 +182,17 @@ func ParseTransition(m mofka.Metadata) dask.Transition {
 
 // ParseExecution decodes metadata written by ExecutionEvent.
 func ParseExecution(m mofka.Metadata) dask.TaskExecution {
+	var files []dask.FileEffect
+	if raw, ok := m["files"].([]any); ok {
+		for _, f := range raw {
+			if fm, ok := f.(map[string]any); ok {
+				files = append(files, dask.FileEffect{
+					Path:      Str(fm, "path"),
+					SizeAfter: int64(Num(fm, "size_after")),
+				})
+			}
+		}
+	}
 	return dask.TaskExecution{
 		Key:        dask.TaskKey(Str(m, "key")),
 		Worker:     Str(m, "worker"),
@@ -181,6 +202,7 @@ func ParseExecution(m mofka.Metadata) dask.TaskExecution {
 		Stop:       sim.Seconds(Num(m, "stop")),
 		OutputSize: int64(Num(m, "output_size")),
 		GraphID:    int(Num(m, "graph_id")),
+		Files:      files,
 	}
 }
 

@@ -180,9 +180,9 @@ func (h eventHeap) Less(a, b int) bool {
 	}
 	return h[a].seq < h[b].seq
 }
-func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
-func (h *eventHeap) Push(x any)         { *h = append(*h, x.(simEvent)) }
-func (h *eventHeap) Pop() any           { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h eventHeap) Swap(a, b int) { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 
 // readyItem is a task waiting for a slot, prioritized by its measured start
 // (preserving the run's scheduling order), then key for determinism.
