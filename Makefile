@@ -1,12 +1,18 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-cluster bench-proxy bench-whatif chaos cluster property resume fuzz whatif verify
+.PHONY: build vet lint test race bench bench-cluster bench-proxy bench-whatif bench-speculation chaos cluster property resume fuzz whatif speculate verify
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet; staticcheck runs when the binary is on PATH
+# (CI installs it, bare dev machines skip cleanly rather than failing).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not on PATH; skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -81,6 +87,28 @@ bench-whatif:
 		| $(GO) run ./tools/benchjson > BENCH_whatif.json
 	cat BENCH_whatif.json
 
+# Gray-failure acceptance gate, race-enabled: the brownout grammar and its
+# arm paths, the hedged-execution acceptance run (speculation must recover
+# >=40% of the makespan a factor-8 brownout costs, with exactly one execution
+# record per key and the proxy footprint back at baseline), random DAGs under
+# brownouts and kills, bounded retry storms, heartbeat-jitter desync, and the
+# speculation views/lanes.
+speculate:
+	$(GO) test -race -run 'TestParseEveryDirective|TestUnknownDirectiveListsAll|TestParseSlowNetErrors|TestArmSlowdowns|TestArmLinkFaults' ./internal/chaos/
+	$(GO) test -race -run 'TestBrownoutSpeculationAcceptance|TestHeartbeatJitterDesynchronizesMultiRestart|TestRetryStormBoundedUnderChaos' ./internal/core/
+	$(GO) test -race -run 'TestRandomDAGsSurviveBrownoutsWithSpeculation' ./internal/dask/
+	$(GO) test -race -run 'TestRetry' ./internal/mochi/mercury/
+	$(GO) test -race -run 'TestAggregatorSpeculationLane|TestStragglerDetectorAdvisor' ./internal/live/
+	$(GO) test -race -run 'TestSpeculationTimeline' ./internal/perfrecup/
+
+# The brownout acceptance scenario's makespans (hedging off vs on), recorded
+# as JSON for tracking across changes (BENCH_speculation.json is checked in;
+# the speculated lane's makespan-s must stay well below browned-out's).
+bench-speculation:
+	$(GO) test -run '^$$' -bench 'BenchmarkBrownoutSpeculation' -benchtime 1x ./internal/core/ \
+		| $(GO) run ./tools/benchjson > BENCH_speculation.json
+	cat BENCH_speculation.json
+
 # WAL crash-recovery fuzzing: replay the checked-in seed corpus, then fuzz
 # live for a short burst (arbitrary segment bytes must never panic recovery
 # and must keep exactly the valid frame prefix).
@@ -89,4 +117,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz 'FuzzWALRecover' -fuzztime 20s ./internal/mofka/wal/
 
 # Everything CI runs.
-verify: build vet test race chaos cluster property resume fuzz whatif
+verify: build lint test race chaos cluster property resume fuzz whatif speculate

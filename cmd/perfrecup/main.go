@@ -74,6 +74,8 @@ func main() {
 		err = cmdCluster(args)
 	case "proxy":
 		err = cmdProxy(args)
+	case "speculate":
+		err = cmdSpeculate(args)
 	case "metadata":
 		err = cmdMetadata(args)
 	case "critpath":
@@ -92,7 +94,7 @@ func main() {
 
 // commandList is the one-line valid-command inventory printed on an unknown
 // command (and in the usage string) — keep it in sync with main's switch.
-const commandList = "table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|cluster|proxy|metadata|critpath|whatif"
+const commandList = "table1|phases|iotimeline|comm|tasks|warnings|lineage|export|window|compare|darshan|svg|correlate|heatmap|cluster|proxy|speculate|metadata|critpath|whatif"
 
 func usage() {
 	fmt.Fprintf(os.Stderr, "usage: perfrecup <%s> <run dir...> [flags]\n", commandList)
@@ -314,11 +316,12 @@ var exportViews = map[string]func(*core.RunArtifacts) (*frame.Frame, error){
 	"taskio":      perfrecup.TaskIOSummary,
 	"proxy":       perfrecup.ProxyView,
 	"critpath":    perfrecup.CritPathView,
+	"speculation": perfrecup.SpeculationTimelineView,
 }
 
 var exportViewNames = []string{
 	"executions", "transitions", "transfers", "warnings", "dxt", "posix",
-	"taskmeta", "heartbeats", "taskio", "proxy", "critpath",
+	"taskmeta", "heartbeats", "taskio", "proxy", "critpath", "speculation",
 }
 
 func cmdExport(args []string) error {
@@ -579,6 +582,27 @@ func cmdProxy(args []string) error {
 			perfrecup.Mean(resolves), perfrecup.Percentile(resolves, 95),
 			maxFloat(resolves), len(resolves))
 	}
+	return nil
+}
+
+// cmdSpeculate prints the gray-failure tolerance lane: duplicate launches,
+// first-completion winners, cancelled losers with their wasted runtime,
+// promotions, RPC retries, and retry-budget denials.
+func cmdSpeculate(args []string) error {
+	art, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	f, err := perfrecup.SpeculationTimelineView(art)
+	if err != nil {
+		return err
+	}
+	tl := perfrecup.RenderSpeculationTimeline(f)
+	if tl == "" {
+		fmt.Println("no speculation events (hedging off and no retries)")
+		return nil
+	}
+	fmt.Printf("speculation timeline (%d events):\n%s", f.NRows(), tl)
 	return nil
 }
 

@@ -66,7 +66,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-cluster N] [-replication N] [-quorum N] [-live] [-live-http ADDR] [-chaos SPEC] [-proxy-threshold BYTES] [-proxy-prefetch] [-no-dxt] [-no-collect] [-no-steal]
+  taskprov run -workflow <name> [-seed N] [-runs N] [-out DIR] [-data-dir DIR] [-force] [-cluster N] [-replication N] [-quorum N] [-live] [-live-http ADDR] [-chaos SPEC] [-speculate] [-speculate-quantile Q] [-proxy-threshold BYTES] [-proxy-prefetch] [-no-dxt] [-no-collect] [-no-steal]
   taskprov resume [-out DIR] [-fsync POLICY] [-chaos SPEC] DATA_DIR
   taskprov watch (-data-dir DIR | -broker ADDR) [-http ADDR] [-interval DUR] [-once] [-json]
   taskprov whatif -run DIR [-scenario SPEC]... [-critpath] [-json]
@@ -97,7 +97,9 @@ func cmdRun(args []string) error {
 	quorum := fs.Int("quorum", 0, "with -cluster, append acknowledgement quorum (0 = majority of replication)")
 	liveMon := fs.Bool("live", false, "attach the live monitor (streaming aggregates + online anomaly detection)")
 	liveHTTP := fs.String("live-http", "", "with -live, serve /snapshot /metrics /events on this address during the run")
-	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "kill worker=3 at=20s restart=10s" (see internal/chaos)`)
+	chaosSpec := fs.String("chaos", "", `fault-injection spec, e.g. "kill worker=3 at=20s restart=10s" or "slow worker=2 at=1m factor=8" (see internal/chaos)`)
+	speculate := fs.Bool("speculate", false, "enable speculative (hedged) task execution: duplicate straggling tasks, first completion wins")
+	specQuantile := fs.Float64("speculate-quantile", 0, "with -speculate, per-prefix completed-duration quantile for straggler candidacy (0 = default 0.75)")
 	proxyThreshold := fs.Int64("proxy-threshold", 0, "pass outputs of at least BYTES by reference through the proxy store (0 = direct transfers)")
 	proxyPrefetch := fs.Bool("proxy-prefetch", false, "with -proxy-threshold, resolve proxied dependencies eagerly at assignment instead of at first use")
 	noDXT := fs.Bool("no-dxt", false, "disable Darshan DXT tracing")
@@ -130,6 +132,12 @@ func cmdRun(args []string) error {
 	if *proxyPrefetch && *proxyThreshold == 0 {
 		return fmt.Errorf("-proxy-prefetch needs -proxy-threshold BYTES")
 	}
+	if *specQuantile != 0 && !*speculate {
+		return fmt.Errorf("-speculate-quantile needs -speculate")
+	}
+	if *specQuantile < 0 || *specQuantile >= 1 {
+		return fmt.Errorf("-speculate-quantile %g: need 0 <= q < 1", *specQuantile)
+	}
 	for r := 0; r < *runs; r++ {
 		s := *seed + uint64(r)
 		wf, err := workloads.New(*workflow)
@@ -161,6 +169,10 @@ func cmdRun(args []string) error {
 		cfg.LiveMonitor = *liveMon
 		cfg.LiveHTTPAddr = *liveHTTP
 		cfg.ChaosSpec = *chaosSpec
+		if *speculate {
+			cfg.Speculation.Enabled = true
+			cfg.Speculation.Quantile = *specQuantile
+		}
 		cfg.ClusterBrokers = *clusterN
 		cfg.ClusterReplication = *replication
 		cfg.ClusterQuorum = *quorum
@@ -199,6 +211,13 @@ func cmdRun(args []string) error {
 			if f, err := perfrecup.ClusterTimelineView(art); err == nil {
 				if tl := perfrecup.RenderClusterTimeline(f); tl != "" {
 					fmt.Printf("  cluster timeline (%d events):\n%s", f.NRows(), tl)
+				}
+			}
+		}
+		if *speculate && !*noCollect {
+			if f, err := perfrecup.SpeculationTimelineView(art); err == nil {
+				if tl := perfrecup.RenderSpeculationTimeline(f); tl != "" {
+					fmt.Printf("  speculation timeline (%d events):\n%s", f.NRows(), tl)
 				}
 			}
 		}
@@ -257,6 +276,12 @@ func cmdResume(args []string) error {
 	cfg.Dask.ProxyPrefetch = meta.DaskConfig.ProxyPrefetch
 	cfg.ClusterBrokers = meta.Instrumentation.ClusterBrokers
 	cfg.ClusterReplication = meta.Instrumentation.ClusterReplication
+	if meta.Instrumentation.SpeculationEnabled {
+		cfg.Speculation.Enabled = true
+		cfg.Speculation.MaxConcurrent = meta.Instrumentation.SpeculationMax
+		cfg.Speculation.Quantile = meta.Instrumentation.SpeculationQuantile
+		cfg.Speculation.Budget = meta.Instrumentation.SpeculationBudget
+	}
 	cfg.MofkaSyncPolicy = *fsync
 	cfg.ResumeFrom = dir
 	cfg.ChaosSpec = *chaosSpec

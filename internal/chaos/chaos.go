@@ -16,6 +16,8 @@
 //	scheduler at=DUR | at-task=KEY
 //	rpc [addr=S] [rpc=S] op=drop|delay|error [after=N] [count=N] [delay=DUR]
 //	wal [topic=S] [partition=N] [after=N] [count=N]
+//	slow worker=N at=DUR factor=F [until=DUR]
+//	net src=N dst=M factor=F [at=DUR] [until=DUR]
 //
 // DUR is a Go duration ("30s", "1.5m"). "kill" crashes worker N at virtual
 // time at, optionally booting a fresh process restart later. "broker" does
@@ -33,6 +35,15 @@
 // delay before proceeding. "wal" fails batch appends on matching topic /
 // partition the same way.
 //
+// The last two directives inject gray failures — brownouts rather than
+// crashes. "slow" dilates worker N's task compute and I/O service times by
+// factor starting at virtual time at, optionally restoring full speed until
+// after onset: the worker stays alive, heartbeats, and accepts work, it is
+// just slow, which is the failure mode kills cannot express. "net" degrades
+// the directed platform link from node src to node dst by factor (latency
+// and effective bytes both inflate), optionally starting at at (default:
+// from launch) and healing until after onset.
+//
 // Example: kill 1 of 8 workers two virtual minutes in, restarting it a
 // minute later, while the warnings topic's first partition rejects 3
 // appends:
@@ -42,6 +53,7 @@ package chaos
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -103,6 +115,28 @@ type SchedulerKill struct {
 	AtTask string
 }
 
+// Slow dilates one worker's task compute and I/O service times by Factor
+// starting at a virtual time — a brownout, not a crash. Until (measured from
+// onset, like Kill.Restart) restores full speed; 0 leaves the worker
+// degraded for the rest of the run.
+type Slow struct {
+	Worker int
+	At     time.Duration
+	Factor float64
+	Until  time.Duration
+}
+
+// NetFault degrades the directed platform link from node Src to node Dst by
+// Factor: latency and effective transferred bytes both inflate. At delays
+// the onset (0 = degraded from launch); Until (from onset) heals the link.
+type NetFault struct {
+	Src    int
+	Dst    int
+	Factor float64
+	At     time.Duration
+	Until  time.Duration
+}
+
 // Plan is a parsed chaos specification.
 type Plan struct {
 	Kills      []Kill
@@ -110,6 +144,8 @@ type Plan struct {
 	Schedulers []SchedulerKill
 	RPCs       []RPCFault
 	WALs       []WALFault
+	Slows      []Slow
+	Nets       []NetFault
 
 	// Spec is the original specification string, kept for provenance
 	// metadata so a degraded run records what was injected into it.
@@ -119,7 +155,32 @@ type Plan struct {
 // Empty reports whether the plan injects nothing.
 func (p *Plan) Empty() bool {
 	return p == nil || (len(p.Kills) == 0 && len(p.Brokers) == 0 && len(p.Schedulers) == 0 &&
-		len(p.RPCs) == 0 && len(p.WALs) == 0)
+		len(p.RPCs) == 0 && len(p.WALs) == 0 && len(p.Slows) == 0 && len(p.Nets) == 0)
+}
+
+// directives is the parser dispatch table: one entry per grammar directive.
+// The unknown-directive error lists its keys, so adding a directive here is
+// the single step that both parses it and advertises it — the list cannot
+// drift out of sync with the grammar.
+var directives = map[string]func(kv fieldSet, p *Plan) error{
+	"kill":      parseKill,
+	"broker":    parseBroker,
+	"scheduler": parseScheduler,
+	"rpc":       parseRPC,
+	"wal":       parseWAL,
+	"slow":      parseSlow,
+	"net":       parseNet,
+}
+
+// directiveNames renders the dispatch table's keys as "a, b, ..., or z" for
+// the unknown-directive error.
+func directiveNames() string {
+	names := make([]string, 0, len(directives))
+	for name := range directives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names[:len(names)-1], ", ") + ", or " + names[len(names)-1]
 }
 
 // Parse parses a chaos spec. An empty or whitespace-only spec yields an
@@ -131,108 +192,180 @@ func Parse(spec string) (*Plan, error) {
 		if len(fields) == 0 {
 			continue
 		}
+		parse, ok := directives[fields[0]]
+		if !ok {
+			return nil, fmt.Errorf("chaos: unknown directive %q (want %s)", fields[0], directiveNames())
+		}
 		kv, err := parseFields(fields[1:])
 		if err != nil {
 			return nil, fmt.Errorf("chaos: %q: %w", strings.TrimSpace(stmt), err)
 		}
-		switch fields[0] {
-		case "kill":
-			k := Kill{Worker: -1}
-			if err := kv.intField("worker", &k.Worker); err != nil {
-				return nil, err
-			}
-			if err := kv.durField("at", &k.At); err != nil {
-				return nil, err
-			}
-			if err := kv.durField("restart", &k.Restart); err != nil {
-				return nil, err
-			}
-			if k.Worker < 0 {
-				return nil, fmt.Errorf("chaos: kill requires worker=N")
-			}
-			if k.At <= 0 {
-				return nil, fmt.Errorf("chaos: kill requires at=DURATION")
-			}
-			p.Kills = append(p.Kills, k)
-		case "broker":
-			b := BrokerKill{Node: -1}
-			if err := kv.intField("node", &b.Node); err != nil {
-				return nil, err
-			}
-			if err := kv.durField("at", &b.At); err != nil {
-				return nil, err
-			}
-			if err := kv.durField("restart", &b.Restart); err != nil {
-				return nil, err
-			}
-			if b.Node < 0 {
-				return nil, fmt.Errorf("chaos: broker requires node=N")
-			}
-			if b.At <= 0 {
-				return nil, fmt.Errorf("chaos: broker requires at=DURATION")
-			}
-			p.Brokers = append(p.Brokers, b)
-		case "scheduler":
-			var sk SchedulerKill
-			if err := kv.durField("at", &sk.At); err != nil {
-				return nil, err
-			}
-			sk.AtTask = kv.take("at-task")
-			if (sk.At > 0) == (sk.AtTask != "") {
-				return nil, fmt.Errorf("chaos: scheduler requires exactly one of at=DURATION or at-task=KEY")
-			}
-			p.Schedulers = append(p.Schedulers, sk)
-		case "rpc":
-			f := RPCFault{Count: 1}
-			f.Addr = kv.take("addr")
-			f.RPC = kv.take("rpc")
-			f.Op = Op(kv.take("op"))
-			if err := kv.intField("after", &f.After); err != nil {
-				return nil, err
-			}
-			if err := kv.intField("count", &f.Count); err != nil {
-				return nil, err
-			}
-			if err := kv.durField("delay", &f.Delay); err != nil {
-				return nil, err
-			}
-			switch f.Op {
-			case OpDrop, OpError:
-			case OpDelay:
-				if f.Delay <= 0 {
-					return nil, fmt.Errorf("chaos: rpc op=delay requires delay=DURATION")
-				}
-			default:
-				return nil, fmt.Errorf("chaos: rpc requires op=drop|delay|error, got %q", f.Op)
-			}
-			if f.Count <= 0 {
-				return nil, fmt.Errorf("chaos: rpc count must be positive")
-			}
-			p.RPCs = append(p.RPCs, f)
-		case "wal":
-			f := WALFault{Partition: -1, Count: 1}
-			f.Topic = kv.take("topic")
-			if err := kv.intField("partition", &f.Partition); err != nil {
-				return nil, err
-			}
-			if err := kv.intField("after", &f.After); err != nil {
-				return nil, err
-			}
-			if err := kv.intField("count", &f.Count); err != nil {
-				return nil, err
-			}
-			if f.Count <= 0 {
-				return nil, fmt.Errorf("chaos: wal count must be positive")
-			}
-			p.WALs = append(p.WALs, f)
-		default:
-			return nil, fmt.Errorf("chaos: unknown directive %q (want kill, broker, scheduler, rpc, or wal)", fields[0])
+		if err := parse(kv, p); err != nil {
+			return nil, err
 		}
 		if err := kv.unused(); err != nil {
 			return nil, fmt.Errorf("chaos: %s statement: %w", fields[0], err)
 		}
 	}
 	return p, nil
+}
+
+func parseKill(kv fieldSet, p *Plan) error {
+	k := Kill{Worker: -1}
+	if err := kv.intField("worker", &k.Worker); err != nil {
+		return err
+	}
+	if err := kv.durField("at", &k.At); err != nil {
+		return err
+	}
+	if err := kv.durField("restart", &k.Restart); err != nil {
+		return err
+	}
+	if k.Worker < 0 {
+		return fmt.Errorf("chaos: kill requires worker=N")
+	}
+	if k.At <= 0 {
+		return fmt.Errorf("chaos: kill requires at=DURATION")
+	}
+	p.Kills = append(p.Kills, k)
+	return nil
+}
+
+func parseBroker(kv fieldSet, p *Plan) error {
+	b := BrokerKill{Node: -1}
+	if err := kv.intField("node", &b.Node); err != nil {
+		return err
+	}
+	if err := kv.durField("at", &b.At); err != nil {
+		return err
+	}
+	if err := kv.durField("restart", &b.Restart); err != nil {
+		return err
+	}
+	if b.Node < 0 {
+		return fmt.Errorf("chaos: broker requires node=N")
+	}
+	if b.At <= 0 {
+		return fmt.Errorf("chaos: broker requires at=DURATION")
+	}
+	p.Brokers = append(p.Brokers, b)
+	return nil
+}
+
+func parseScheduler(kv fieldSet, p *Plan) error {
+	var sk SchedulerKill
+	if err := kv.durField("at", &sk.At); err != nil {
+		return err
+	}
+	sk.AtTask = kv.take("at-task")
+	if (sk.At > 0) == (sk.AtTask != "") {
+		return fmt.Errorf("chaos: scheduler requires exactly one of at=DURATION or at-task=KEY")
+	}
+	p.Schedulers = append(p.Schedulers, sk)
+	return nil
+}
+
+func parseRPC(kv fieldSet, p *Plan) error {
+	f := RPCFault{Count: 1}
+	f.Addr = kv.take("addr")
+	f.RPC = kv.take("rpc")
+	f.Op = Op(kv.take("op"))
+	if err := kv.intField("after", &f.After); err != nil {
+		return err
+	}
+	if err := kv.intField("count", &f.Count); err != nil {
+		return err
+	}
+	if err := kv.durField("delay", &f.Delay); err != nil {
+		return err
+	}
+	switch f.Op {
+	case OpDrop, OpError:
+	case OpDelay:
+		if f.Delay <= 0 {
+			return fmt.Errorf("chaos: rpc op=delay requires delay=DURATION")
+		}
+	default:
+		return fmt.Errorf("chaos: rpc requires op=drop|delay|error, got %q", f.Op)
+	}
+	if f.Count <= 0 {
+		return fmt.Errorf("chaos: rpc count must be positive")
+	}
+	p.RPCs = append(p.RPCs, f)
+	return nil
+}
+
+func parseWAL(kv fieldSet, p *Plan) error {
+	f := WALFault{Partition: -1, Count: 1}
+	f.Topic = kv.take("topic")
+	if err := kv.intField("partition", &f.Partition); err != nil {
+		return err
+	}
+	if err := kv.intField("after", &f.After); err != nil {
+		return err
+	}
+	if err := kv.intField("count", &f.Count); err != nil {
+		return err
+	}
+	if f.Count <= 0 {
+		return fmt.Errorf("chaos: wal count must be positive")
+	}
+	p.WALs = append(p.WALs, f)
+	return nil
+}
+
+func parseSlow(kv fieldSet, p *Plan) error {
+	s := Slow{Worker: -1}
+	if err := kv.intField("worker", &s.Worker); err != nil {
+		return err
+	}
+	if err := kv.durField("at", &s.At); err != nil {
+		return err
+	}
+	if err := kv.floatField("factor", &s.Factor); err != nil {
+		return err
+	}
+	if err := kv.durField("until", &s.Until); err != nil {
+		return err
+	}
+	if s.Worker < 0 {
+		return fmt.Errorf("chaos: slow requires worker=N")
+	}
+	if s.At <= 0 {
+		return fmt.Errorf("chaos: slow requires at=DURATION")
+	}
+	if s.Factor <= 1 {
+		return fmt.Errorf("chaos: slow requires factor>1, got %v", s.Factor)
+	}
+	p.Slows = append(p.Slows, s)
+	return nil
+}
+
+func parseNet(kv fieldSet, p *Plan) error {
+	n := NetFault{Src: -1, Dst: -1}
+	if err := kv.intField("src", &n.Src); err != nil {
+		return err
+	}
+	if err := kv.intField("dst", &n.Dst); err != nil {
+		return err
+	}
+	if err := kv.floatField("factor", &n.Factor); err != nil {
+		return err
+	}
+	if err := kv.durField("at", &n.At); err != nil {
+		return err
+	}
+	if err := kv.durField("until", &n.Until); err != nil {
+		return err
+	}
+	if n.Src < 0 || n.Dst < 0 {
+		return fmt.Errorf("chaos: net requires src=N and dst=M")
+	}
+	if n.Factor <= 1 {
+		return fmt.Errorf("chaos: net requires factor>1, got %v", n.Factor)
+	}
+	p.Nets = append(p.Nets, n)
+	return nil
 }
 
 // fieldSet holds a statement's key=value fields during parsing.
@@ -273,6 +406,20 @@ func (kv fieldSet) intField(key string, dst *int) error {
 	return nil
 }
 
+func (kv fieldSet) floatField(key string, dst *float64) error {
+	v, ok := kv[key]
+	if !ok {
+		return nil
+	}
+	delete(kv, key)
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return fmt.Errorf("chaos: field %s=%q: %w", key, v, err)
+	}
+	*dst = f
+	return nil
+}
+
 func (kv fieldSet) durField(key string, dst *time.Duration) error {
 	v, ok := kv[key]
 	if !ok {
@@ -303,6 +450,19 @@ func (kv fieldSet) unused() error {
 type WorkerKiller interface {
 	KillWorker(rank int)
 	RestartWorker(rank int)
+}
+
+// WorkerSlower is the slice of a Dask cluster brownout injection needs: the
+// ability to dilate and restore one worker's service times.
+type WorkerSlower interface {
+	SlowWorker(rank int, factor float64)
+	ClearSlowdown(rank int)
+}
+
+// LinkDegrader is the slice of the platform model net-fault injection needs.
+// *platform.Cluster satisfies it.
+type LinkDegrader interface {
+	SetLinkFactor(src, dst int, factor float64)
 }
 
 // AppendFaulter is the slice of a Mofka broker the controller needs.
@@ -361,6 +521,46 @@ func (c *Controller) ArmWorkerFaults(k *sim.Kernel, cl WorkerKiller, workers int
 		k.At(sim.Time(kk.At), func() { cl.KillWorker(kk.Worker) })
 		if kk.Restart > 0 {
 			k.At(sim.Time(kk.At+kk.Restart), func() { cl.RestartWorker(kk.Worker) })
+		}
+	}
+	return nil
+}
+
+// ArmSlowdowns schedules the plan's worker brownouts on the simulation
+// kernel against a cluster with the given worker count. Like kills, onsets
+// fire at exact virtual times, so the same spec degrades the same task
+// executions on every run. Call before kernel.Run.
+func (c *Controller) ArmSlowdowns(k *sim.Kernel, cl WorkerSlower, workers int) error {
+	for _, slow := range c.plan.Slows {
+		if slow.Worker >= workers {
+			return fmt.Errorf("chaos: slow worker=%d but cluster has %d workers", slow.Worker, workers)
+		}
+		ss := slow
+		k.At(sim.Time(ss.At), func() { cl.SlowWorker(ss.Worker, ss.Factor) })
+		if ss.Until > 0 {
+			k.At(sim.Time(ss.At+ss.Until), func() { cl.ClearSlowdown(ss.Worker) })
+		}
+	}
+	return nil
+}
+
+// ArmLinkFaults schedules the plan's link degradations against a platform
+// with the given node count. Faults with no onset time take effect
+// immediately; healed links are restored at exact virtual times. Call before
+// kernel.Run.
+func (c *Controller) ArmLinkFaults(k *sim.Kernel, net LinkDegrader, nodes int) error {
+	for _, nf := range c.plan.Nets {
+		if nf.Src >= nodes || nf.Dst >= nodes {
+			return fmt.Errorf("chaos: net src=%d dst=%d but platform has %d nodes", nf.Src, nf.Dst, nodes)
+		}
+		n := nf
+		if n.At > 0 {
+			k.At(sim.Time(n.At), func() { net.SetLinkFactor(n.Src, n.Dst, n.Factor) })
+		} else {
+			net.SetLinkFactor(n.Src, n.Dst, n.Factor)
+		}
+		if n.Until > 0 {
+			k.At(sim.Time(n.At+n.Until), func() { net.SetLinkFactor(n.Src, n.Dst, 1) })
 		}
 	}
 	return nil

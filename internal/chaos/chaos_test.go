@@ -2,6 +2,8 @@ package chaos
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -265,5 +267,214 @@ func TestArmSchedulerFaultsSkipsPastKills(t *testing.T) {
 	// past the kill time: the stale kill must not fire again.
 	if len(fired) != 0 {
 		t.Fatalf("fired %+v", fired)
+	}
+}
+
+// TestParseEveryDirective round-trips one statement per grammar directive and
+// checks every parsed field. The covered set is compared against the parser's
+// dispatch table, so adding a directive without extending this test fails it.
+func TestParseEveryDirective(t *testing.T) {
+	cases := map[string]struct {
+		spec  string
+		check func(t *testing.T, p *Plan)
+	}{
+		"kill": {
+			spec: "kill worker=3 at=2m restart=1m",
+			check: func(t *testing.T, p *Plan) {
+				want := Kill{Worker: 3, At: 2 * time.Minute, Restart: time.Minute}
+				if len(p.Kills) != 1 || p.Kills[0] != want {
+					t.Fatalf("kills %+v", p.Kills)
+				}
+			},
+		},
+		"broker": {
+			spec: "broker node=1 at=30s restart=10s",
+			check: func(t *testing.T, p *Plan) {
+				want := BrokerKill{Node: 1, At: 30 * time.Second, Restart: 10 * time.Second}
+				if len(p.Brokers) != 1 || p.Brokers[0] != want {
+					t.Fatalf("brokers %+v", p.Brokers)
+				}
+			},
+		},
+		"scheduler": {
+			spec: "scheduler at-task=sum-0042",
+			check: func(t *testing.T, p *Plan) {
+				want := SchedulerKill{AtTask: "sum-0042"}
+				if len(p.Schedulers) != 1 || p.Schedulers[0] != want {
+					t.Fatalf("schedulers %+v", p.Schedulers)
+				}
+			},
+		},
+		"rpc": {
+			spec: "rpc addr=node1 rpc=mofka.append op=delay after=2 count=5 delay=300ms",
+			check: func(t *testing.T, p *Plan) {
+				want := RPCFault{Addr: "node1", RPC: "mofka.append", Op: OpDelay,
+					After: 2, Count: 5, Delay: 300 * time.Millisecond}
+				if len(p.RPCs) != 1 || p.RPCs[0] != want {
+					t.Fatalf("rpcs %+v", p.RPCs)
+				}
+			},
+		},
+		"wal": {
+			spec: "wal topic=executions partition=2 after=7 count=3",
+			check: func(t *testing.T, p *Plan) {
+				want := WALFault{Topic: "executions", Partition: 2, After: 7, Count: 3}
+				if len(p.WALs) != 1 || p.WALs[0] != want {
+					t.Fatalf("wals %+v", p.WALs)
+				}
+			},
+		},
+		"slow": {
+			spec: "slow worker=2 at=1m factor=8 until=30s",
+			check: func(t *testing.T, p *Plan) {
+				want := Slow{Worker: 2, At: time.Minute, Factor: 8, Until: 30 * time.Second}
+				if len(p.Slows) != 1 || p.Slows[0] != want {
+					t.Fatalf("slows %+v", p.Slows)
+				}
+			},
+		},
+		"net": {
+			spec: "net src=0 dst=1 factor=4 at=20s until=40s",
+			check: func(t *testing.T, p *Plan) {
+				want := NetFault{Src: 0, Dst: 1, Factor: 4, At: 20 * time.Second, Until: 40 * time.Second}
+				if len(p.Nets) != 1 || p.Nets[0] != want {
+					t.Fatalf("nets %+v", p.Nets)
+				}
+			},
+		},
+	}
+	for name := range directives {
+		if _, ok := cases[name]; !ok {
+			t.Errorf("directive %q has no round-trip case — extend this test", name)
+		}
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := directives[name]; !ok {
+				t.Fatalf("case %q is not a parser directive", name)
+			}
+			p, err := Parse(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, p)
+			if p.Spec != tc.spec {
+				t.Fatalf("spec round-trip: %q != %q", p.Spec, tc.spec)
+			}
+		})
+	}
+}
+
+// TestUnknownDirectiveListsAll checks the dispatch-table error advertises
+// every directive, so the grammar's inventory cannot silently drift.
+func TestUnknownDirectiveListsAll(t *testing.T) {
+	_, err := Parse("explode worker=1 at=2s")
+	if err == nil {
+		t.Fatal("expected unknown-directive error")
+	}
+	for name := range directives {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention directive %q", err, name)
+		}
+	}
+}
+
+func TestParseSlowNetErrors(t *testing.T) {
+	for _, spec := range []string{
+		"slow at=5s factor=2",             // missing worker
+		"slow worker=1 factor=2",          // missing at
+		"slow worker=1 at=5s",             // missing factor
+		"slow worker=1 at=5s factor=1",    // factor must exceed 1
+		"slow worker=1 at=5s factor=0.5",  // factor must exceed 1
+		"net dst=1 factor=2",              // missing src
+		"net src=0 factor=2",              // missing dst
+		"net src=0 dst=1",                 // missing factor
+		"net src=0 dst=1 factor=1",        // factor must exceed 1
+		"net src=0 dst=1 factor=2 op=bad", // unknown field
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("%q: expected error", spec)
+		}
+	}
+}
+
+type fakeSlower struct {
+	events []string
+}
+
+func (f *fakeSlower) SlowWorker(rank int, factor float64) {
+	f.events = append(f.events, fmt.Sprintf("slow %d x%g", rank, factor))
+}
+func (f *fakeSlower) ClearSlowdown(rank int) {
+	f.events = append(f.events, fmt.Sprintf("clear %d", rank))
+}
+
+func TestArmSlowdowns(t *testing.T) {
+	p, err := Parse("slow worker=2 at=5s factor=8 until=3s; slow worker=0 at=1s factor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	sl := &fakeSlower{}
+	if err := NewController(p).ArmSlowdowns(k, sl, 4); err != nil {
+		t.Fatal(err)
+	}
+	k.Run()
+	want := []string{"slow 0 x2", "slow 2 x8", "clear 2"}
+	if len(sl.events) != len(want) {
+		t.Fatalf("events %v", sl.events)
+	}
+	for i := range want {
+		if sl.events[i] != want[i] {
+			t.Fatalf("events %v, want %v", sl.events, want)
+		}
+	}
+}
+
+func TestArmSlowdownsValidatesRank(t *testing.T) {
+	p, _ := Parse("slow worker=4 at=5s factor=2")
+	if err := NewController(p).ArmSlowdowns(sim.NewKernel(1), &fakeSlower{}, 4); err == nil {
+		t.Fatal("expected rank-out-of-range error")
+	}
+}
+
+type fakeNet struct {
+	events []string
+}
+
+func (f *fakeNet) SetLinkFactor(src, dst int, factor float64) {
+	f.events = append(f.events, fmt.Sprintf("%d->%d x%g", src, dst, factor))
+}
+
+func TestArmLinkFaults(t *testing.T) {
+	p, err := Parse("net src=0 dst=1 factor=4 at=5s until=3s; net src=1 dst=0 factor=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sim.NewKernel(1)
+	n := &fakeNet{}
+	if err := NewController(p).ArmLinkFaults(k, n, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The onset-less fault degrades immediately, before the kernel runs.
+	if len(n.events) != 1 || n.events[0] != "1->0 x2" {
+		t.Fatalf("pre-run events %v", n.events)
+	}
+	k.Run()
+	want := []string{"1->0 x2", "0->1 x4", "0->1 x1"}
+	if len(n.events) != len(want) {
+		t.Fatalf("events %v", n.events)
+	}
+	for i := range want {
+		if n.events[i] != want[i] {
+			t.Fatalf("events %v, want %v", n.events, want)
+		}
+	}
+}
+
+func TestArmLinkFaultsValidatesNodes(t *testing.T) {
+	p, _ := Parse("net src=0 dst=2 factor=2")
+	if err := NewController(p).ArmLinkFaults(sim.NewKernel(1), &fakeNet{}, 2); err == nil {
+		t.Fatal("expected node-out-of-range error")
 	}
 }

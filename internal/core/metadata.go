@@ -125,6 +125,16 @@ type InstrumentationConfig struct {
 	// internal/chaos), empty for fault-free runs. Recording it makes
 	// degraded runs self-describing post-mortem.
 	Chaos string `json:"chaos,omitempty"`
+	// Speculation records the hedged-execution policy the run was executed
+	// under (zero when speculation was off), so a speculation timeline is
+	// interpretable post-mortem without the session config.
+	SpeculationEnabled  bool    `json:"speculation_enabled,omitempty"`
+	SpeculationMax      int     `json:"speculation_max,omitempty"`
+	SpeculationQuantile float64 `json:"speculation_quantile,omitempty"`
+	SpeculationBudget   int     `json:"speculation_budget,omitempty"`
+	// RetryBudget is the per-run Mercury retry allowance (0 when the adaptive
+	// retry layer was not engaged).
+	RetryBudget int `json:"retry_budget,omitempty"`
 }
 
 // EncodeMetadata serializes run metadata as pretty JSON.

@@ -172,6 +172,9 @@ func (p *schedPlugin) SchedulerTransition(t dask.Transition) {
 }
 func (p *schedPlugin) GraphDone(id int, at sim.Time) { p.c.push(TopicGraphs, GraphDoneEvent(id, at)) }
 func (p *schedPlugin) Stolen(ev dask.StealEvent)     { p.c.push(TopicSteals, StealEventMeta(ev)) }
+func (p *schedPlugin) Speculation(ev dask.SpeculationEvent) {
+	p.c.push(TopicSpeculation, SpeculationEventMeta(ev))
+}
 
 type workerPlugin struct{ c *Collector }
 

@@ -36,6 +36,7 @@ const (
 	TopicSteals      = provenance.TopicSteals
 	TopicGraphs      = provenance.TopicGraphs
 	TopicProxy       = provenance.TopicProxy
+	TopicSpeculation = provenance.TopicSpeculation
 	TopicAnomalies   = provenance.TopicAnomalies
 )
 
@@ -65,6 +66,11 @@ func StealEventMeta(s dask.StealEvent) mofka.Metadata { return provenance.StealE
 
 // ProxyEventMeta encodes a ProxyEvent as Mofka event metadata.
 func ProxyEventMeta(e dask.ProxyEvent) mofka.Metadata { return provenance.ProxyEventMeta(e) }
+
+// SpeculationEventMeta encodes a SpeculationEvent as Mofka event metadata.
+func SpeculationEventMeta(e dask.SpeculationEvent) mofka.Metadata {
+	return provenance.SpeculationEventMeta(e)
+}
 
 // GraphDoneEvent encodes a graph completion as Mofka event metadata.
 func GraphDoneEvent(graphID int, at sim.Time) mofka.Metadata {
@@ -99,6 +105,11 @@ func ParseSteal(m mofka.Metadata) dask.StealEvent { return provenance.ParseSteal
 
 // ParseProxyEvent decodes metadata written by ProxyEventMeta.
 func ParseProxyEvent(m mofka.Metadata) dask.ProxyEvent { return provenance.ParseProxyEvent(m) }
+
+// ParseSpeculationEvent decodes metadata written by SpeculationEventMeta.
+func ParseSpeculationEvent(m mofka.Metadata) dask.SpeculationEvent {
+	return provenance.ParseSpeculationEvent(m)
+}
 
 // DrainTopic pulls every event of a topic and decodes its metadata.
 func DrainTopic(b *mofka.Broker, topic string) ([]mofka.Metadata, error) {

@@ -124,6 +124,9 @@ func (p *remoteSchedPlugin) GraphDone(id int, at sim.Time) {
 	p.c.push(TopicGraphs, GraphDoneEvent(id, at))
 }
 func (p *remoteSchedPlugin) Stolen(ev dask.StealEvent) { p.c.push(TopicSteals, StealEventMeta(ev)) }
+func (p *remoteSchedPlugin) Speculation(ev dask.SpeculationEvent) {
+	p.c.push(TopicSpeculation, SpeculationEventMeta(ev))
+}
 
 type remoteWorkerPlugin struct{ c *RemoteCollector }
 

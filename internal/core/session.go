@@ -11,6 +11,7 @@ import (
 	"taskprov/internal/darshan"
 	"taskprov/internal/dask"
 	"taskprov/internal/live"
+	"taskprov/internal/mochi/mercury"
 	"taskprov/internal/mofka"
 	mcluster "taskprov/internal/mofka/cluster"
 	"taskprov/internal/mofka/wal"
@@ -64,11 +65,27 @@ type SessionConfig struct {
 
 	// ChaosSpec, when non-empty, arms the fault-injection plan parsed from
 	// it (see internal/chaos) before the run starts: worker kills/restarts
-	// at virtual times, broker append faults, and whole-coordinator kills
-	// (the "scheduler" directive, which aborts the session with a CrashError
-	// so the run can be continued with ResumeFrom). The same seed and spec
-	// reproduce the identical failure and recovery event sequence.
+	// and brownouts (the "slow" directive) at virtual times, link
+	// degradations ("net"), broker append faults, and whole-coordinator
+	// kills (the "scheduler" directive, which aborts the session with a
+	// CrashError so the run can be continued with ResumeFrom). The same seed
+	// and spec reproduce the identical failure and recovery event sequence.
 	ChaosSpec string
+
+	// Speculation enables and tunes speculative (hedged) execution of
+	// straggling tasks: the scheduler subscribes to the live straggler
+	// detector (internal/live MAD z-scores) and launches a bounded number of
+	// duplicate attempts; first completion wins, the loser is cancelled with
+	// attempt fencing. When Enabled it overrides Dask.Speculation; every
+	// decision lands on the "speculation" provenance topic.
+	Speculation dask.SpeculationConfig
+
+	// RetryBudget is the per-run allowance of Mercury RPC retries handed to
+	// every caller the session wraps (WrapCaller): under a gray failure the
+	// adaptive retry policy spends at most this many extra calls run-wide,
+	// then degrades to clean errors. 0 means DefaultRetryBudget; negative
+	// grants none.
+	RetryBudget int
 
 	// MofkaDataDir, when set, backs the run's broker with the durable
 	// segmented event log rooted there (internal/mofka/wal): every
@@ -163,6 +180,17 @@ func (cfg SessionConfig) Validate() error {
 	}
 	if cfg.ClusterBrokers == 0 && (cfg.ClusterReplication != 0 || cfg.ClusterQuorum != 0) {
 		return fmt.Errorf("core: cluster replication/quorum set without ClusterBrokers")
+	}
+	if sp := cfg.Speculation; sp.Enabled {
+		if sp.Quantile < 0 || sp.Quantile >= 1 {
+			return fmt.Errorf("core: speculation quantile %v outside [0, 1)", sp.Quantile)
+		}
+		if sp.MaxConcurrent < 0 || sp.Budget < 0 {
+			return fmt.Errorf("core: negative speculation bound (max_concurrent=%d budget=%d)", sp.MaxConcurrent, sp.Budget)
+		}
+		if sp.MinRuntime < 0 || sp.Interval < 0 {
+			return fmt.Errorf("core: negative speculation duration (min_runtime=%v interval=%v)", sp.MinRuntime, sp.Interval)
+		}
 	}
 	if cfg.ResumeFrom != "" {
 		if cfg.DisableCollection {
@@ -293,6 +321,9 @@ type Session struct {
 	frontier       *frontierPlugin
 	stopCheckpoint func()
 
+	retryBudget  *mercury.RetryBudget
+	retryEngaged bool
+
 	attempt     int
 	resumedFrom int
 	resumeState *resume.State
@@ -319,6 +350,11 @@ func NewSession(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*Session,
 	}
 
 	s := &Session{cfg: cfg, wf: wf, attempt: 1}
+	if cfg.Speculation.Enabled {
+		// The session-level policy is authoritative: project it onto the
+		// scheduler's config before the cluster is built.
+		s.cfg.Dask.Speculation = cfg.Speculation
+	}
 	if cfg.ResumeFrom != "" {
 		st, err := resume.Reconstruct(cfg.ResumeFrom)
 		if err != nil {
@@ -358,6 +394,14 @@ func NewSession(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*Session,
 	}
 
 	s.cluster = dask.NewCluster(s.k, s.plat, s.px, cfg.Dask, tracers)
+
+	// Speculation closes the detect→act loop: the scheduler's speculation
+	// tick consults the live straggler detector (the same MAD robust-z model
+	// the monitor's anomaly lane runs) in addition to its built-in quantile
+	// policy.
+	if cfg.Dask.Speculation.Enabled {
+		s.cluster.SetSpeculationAdvisor(live.NewStragglerDetector(cfg.LiveOptions.Aggregator.Anomaly))
+	}
 
 	// Sharded, replicated deployment: the provenance stream targets a
 	// multi-broker Mofka cluster instead of one broker. Health events are
@@ -461,6 +505,14 @@ func NewSession(cfg SessionConfig, wf Workflow, broker *mofka.Broker) (*Session,
 		}
 		ctl := chaos.NewController(plan)
 		if err := ctl.ArmWorkerFaults(s.k, s.cluster, len(s.cluster.Workers())); err != nil {
+			_ = s.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := ctl.ArmSlowdowns(s.k, s.cluster, len(s.cluster.Workers())); err != nil {
+			_ = s.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := ctl.ArmLinkFaults(s.k, s.plat, cfg.Platform.Nodes); err != nil {
 			_ = s.Close()
 			return nil, fmt.Errorf("core: %w", err)
 		}
@@ -767,6 +819,15 @@ func (s *Session) buildMeta(start, end sim.Time) RunMetadata {
 		StartSeconds: start.Seconds(),
 		EndSeconds:   end.Seconds(),
 		WallSeconds:  (end - start).Seconds(),
+	}
+	if sp := s.cluster.Config().Speculation; sp.Enabled {
+		m.Instrumentation.SpeculationEnabled = true
+		m.Instrumentation.SpeculationMax = sp.MaxConcurrent
+		m.Instrumentation.SpeculationQuantile = sp.Quantile
+		m.Instrumentation.SpeculationBudget = sp.Budget
+	}
+	if n := s.retryBudgetSize(); n > 0 {
+		m.Instrumentation.RetryBudget = n
 	}
 	if s.attempt > 1 {
 		m.Attempt = s.attempt

@@ -127,6 +127,29 @@ func (c *Cluster) RestartWorker(rank int) {
 	c.workers[rank].restart()
 }
 
+// SlowWorker dilates worker rank's compute and I/O service times by factor —
+// a brownout: the worker stays alive and keeps heartbeating, it is just
+// slow. The entry point used by chaos "slow" directives. The degradation
+// models the host, so it survives kill/restart of the worker process.
+func (c *Cluster) SlowWorker(rank int, factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	c.workers[rank].slowFactor = factor
+}
+
+// ClearSlowdown restores worker rank to full speed.
+func (c *Cluster) ClearSlowdown(rank int) {
+	c.workers[rank].slowFactor = 1
+}
+
+// SetSpeculationAdvisor installs the straggler advisor the scheduler's
+// speculation tick consults (nil keeps the built-in per-prefix quantile
+// policy). Must be called before Start.
+func (c *Cluster) SetSpeculationAdvisor(adv SpeculationAdvisor) {
+	c.scheduler.specAdvisor = adv
+}
+
 // control models a small control-plane message between two nodes, invoking
 // handle on arrival.
 func (c *Cluster) control(from, to *platform.Node, handle func()) {

@@ -24,6 +24,7 @@ type recorder struct {
 	steals      []StealEvent
 	graphsDone  []int
 	proxyEvents []ProxyEvent
+	specEvents  []SpeculationEvent
 }
 
 func (r *recorder) TaskAdded(m TaskMeta)             { r.metas = append(r.metas, m) }
@@ -36,6 +37,7 @@ func (r *recorder) TransferReceived(rec Transfer)    { r.transfers = append(r.tr
 func (r *recorder) WorkerWarning(w Warning)          { r.warnings = append(r.warnings, w) }
 func (r *recorder) Heartbeat(m WorkerMetrics)        { r.heartbeats = append(r.heartbeats, m) }
 func (r *recorder) ProxyEvent(ev ProxyEvent)         { r.proxyEvents = append(r.proxyEvents, ev) }
+func (r *recorder) Speculation(ev SpeculationEvent)  { r.specEvents = append(r.specEvents, ev) }
 
 type testEnv struct {
 	k   *sim.Kernel

@@ -78,6 +78,45 @@ type Config struct {
 	// ProxyRefBytes is the wire size of one proxy reference riding a control
 	// message (default 128 when the proxy store is enabled).
 	ProxyRefBytes int64
+
+	// HeartbeatJitterCV spreads each worker's heartbeat period (and the
+	// scheduler's TTL sweep) with deterministic lognormal jitter, so a batch
+	// of simultaneously restarted workers does not deliver heartbeats — or
+	// get evicted — in one synchronized storm. Default 0.1; negative
+	// disables jitter.
+	HeartbeatJitterCV float64
+
+	// Speculation tunes speculative (hedged) execution of stragglers.
+	Speculation SpeculationConfig
+}
+
+// SpeculationConfig is the scheduler's hedged-execution policy: when a
+// running task is flagged as a straggler (its elapsed runtime is far beyond
+// its prefix's completed-duration distribution), the scheduler launches a
+// duplicate attempt on a different worker; the first completion wins and the
+// loser is cancelled with attempt fencing so its output never becomes
+// visible.
+type SpeculationConfig struct {
+	// Enabled turns the speculation tick on.
+	Enabled bool
+	// MaxConcurrent bounds in-flight duplicate attempts (default 2).
+	MaxConcurrent int
+	// Quantile is the per-prefix completed-duration quantile a running
+	// task's elapsed time must exceed before it is a candidate (default
+	// 0.75). The multiplied threshold is quantile-value × SlowFactor.
+	Quantile float64
+	// MinRuntime is the minimum elapsed runtime before any task may be
+	// speculated, so short tasks are never hedged (default 2s).
+	MinRuntime sim.Time
+	// Budget caps total speculative launches per run, so a melting cluster
+	// degrades to normal (slow) execution instead of duplicating everything
+	// (default 32).
+	Budget int
+	// Interval is the speculation tick period (default HeartbeatInterval).
+	Interval sim.Time
+	// SlowFactor is how many times beyond the quantile duration a task must
+	// have run to count as straggling (default 2).
+	SlowFactor float64
 }
 
 // DefaultConfig returns the paper's job configuration: 4 workers per node
@@ -150,6 +189,32 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProxyThresholdBytes > 0 && c.ProxyRefBytes <= 0 {
 		c.ProxyRefBytes = 128
+	}
+	if c.HeartbeatJitterCV == 0 {
+		c.HeartbeatJitterCV = 0.1
+	}
+	if c.HeartbeatJitterCV < 0 {
+		c.HeartbeatJitterCV = 0
+	}
+	if c.Speculation.Enabled {
+		if c.Speculation.MaxConcurrent <= 0 {
+			c.Speculation.MaxConcurrent = 2
+		}
+		if c.Speculation.Quantile <= 0 || c.Speculation.Quantile >= 1 {
+			c.Speculation.Quantile = 0.75
+		}
+		if c.Speculation.MinRuntime <= 0 {
+			c.Speculation.MinRuntime = sim.Seconds(2)
+		}
+		if c.Speculation.Budget <= 0 {
+			c.Speculation.Budget = 32
+		}
+		if c.Speculation.Interval <= 0 {
+			c.Speculation.Interval = c.HeartbeatInterval
+		}
+		if c.Speculation.SlowFactor <= 1 {
+			c.Speculation.SlowFactor = 2
+		}
 	}
 	return c
 }

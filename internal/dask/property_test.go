@@ -300,3 +300,179 @@ func TestRandomDAGsSurviveWorkerKills(t *testing.T) {
 		})
 	}
 }
+
+// TestRandomDAGsSurviveBrownoutsWithSpeculation is the gray-failure property:
+// random DAGs run with the pass-by-reference data plane AND hedged execution
+// enabled while a random brownout schedule degrades workers (sometimes healing
+// them, sometimes mixing in a kill/restart). Whatever the schedule: the graph
+// completes, no task is stranded, every speculative launch settles exactly
+// once (won, failed, or promoted), duplicate execution records only exist for
+// keys that were actually hedged, and the proxy store's refcount/delta
+// balance reconciles — cancelled losers never publish visible outputs.
+func TestRandomDAGsSurviveBrownoutsWithSpeculation(t *testing.T) {
+	const trials = 8
+	totalLaunched := 0
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			seed := uint64(8000 + trial)
+			gen := sim.NewRNG(seed).Split("brownout")
+			g := randomDAG(1, gen.Split("dag"), gen.IntBetween(3, 5), 8)
+			cfg := proxyCfg(1 << 17)
+			cfg.Speculation.Enabled = true
+			cfg.Speculation.MinRuntime = sim.Milliseconds(50)
+			cfg.Speculation.SlowFactor = 1.5
+			env := newEnv(seed, cfg)
+
+			// One or two workers brown out at random times by 4-10x; some
+			// heal, some stay degraded for the rest of the run.
+			slows := gen.IntBetween(1, 2)
+			ranks := gen.Perm(len(env.c.Workers()))
+			var lastEvent sim.Time
+			for i := 0; i < slows; i++ {
+				r := ranks[i]
+				at := sim.Seconds(gen.Uniform(0.2, 3))
+				factor := gen.Uniform(4, 10)
+				env.k.At(at, func() { env.c.SlowWorker(r, factor) })
+				if at > lastEvent {
+					lastEvent = at
+				}
+				if gen.Bool(0.5) {
+					heal := at + sim.Seconds(gen.Uniform(1, 4))
+					env.k.At(heal, func() { env.c.ClearSlowdown(r) })
+					if heal > lastEvent {
+						lastEvent = heal
+					}
+				}
+			}
+			// Half the trials also lose a (different) worker outright.
+			killed := gen.Bool(0.5)
+			if killed {
+				r := ranks[len(ranks)-1]
+				killAt := sim.Seconds(gen.Uniform(1, 5))
+				restartAt := killAt + sim.Seconds(gen.Uniform(2, 4))
+				env.k.At(killAt, func() { env.c.KillWorker(r) })
+				env.k.At(restartAt, func() { env.c.RestartWorker(r) })
+				if restartAt > lastEvent {
+					lastEvent = restartAt
+				}
+			}
+
+			env.runWorkflow(func(p *sim.Proc, cl *Client) {
+				cl.SubmitAndWait(p, g)
+				if e := cl.GraphError(1); e != "" {
+					t.Errorf("graph erred: %s", e)
+				}
+				settle := env.c.cfg.WorkerTTL + sim.Seconds(2)
+				deadline := lastEvent + settle
+				if d := deadline - env.k.Now(); d > settle {
+					p.Sleep(d)
+				} else {
+					p.Sleep(settle)
+				}
+			})
+
+			// No task stranded; every in-memory key has a live holder.
+			sched := env.c.Scheduler()
+			for _, k := range g.Keys() {
+				switch st := sched.TaskState(k); st {
+				case StateMemory:
+					holders := 0
+					for _, w := range env.c.Workers() {
+						if w.Alive() && w.HasData(k) {
+							holders++
+						}
+					}
+					if holders == 0 {
+						t.Errorf("task %s in memory with no live holder", k)
+					}
+				case StateWaiting, StateProcessing:
+					t.Errorf("task %s stuck in %q after quiescence", k, st)
+				}
+			}
+
+			// Speculation bookkeeping: every launch settles exactly once, and
+			// every win cancels exactly one loser.
+			var launched, won, cancelled, failed, promoted int
+			hedged := map[TaskKey]bool{}
+			for _, ev := range env.rec.specEvents {
+				switch ev.Kind {
+				case SpecLaunched:
+					launched++
+					hedged[ev.Key] = true
+				case SpecWon:
+					won++
+				case SpecCancelled:
+					cancelled++
+				case SpecFailed:
+					failed++
+				case SpecPromoted:
+					promoted++
+				}
+			}
+			if launched != won+failed+promoted {
+				t.Errorf("speculation launches unsettled: launched %d, won %d, failed %d, promoted %d",
+					launched, won, failed, promoted)
+			}
+			if cancelled != won {
+				t.Errorf("win/cancel pairing broken: won %d, cancelled %d", won, cancelled)
+			}
+			totalLaunched += launched
+
+			// Execution records: every key ran. In kill-free trials a key only
+			// executes more than once if it was actually hedged (recovery
+			// recomputation is the one other legitimate source of duplicates).
+			execsPerKey := map[TaskKey]int{}
+			for _, e := range env.rec.execs {
+				execsPerKey[e.Key]++
+			}
+			for _, k := range g.Keys() {
+				n := execsPerKey[k]
+				if n == 0 {
+					t.Errorf("task %s never executed", k)
+					continue
+				}
+				if n > 1 && !hedged[k] && !killed {
+					t.Errorf("task %s executed %d times without speculation or recovery", k, n)
+				}
+			}
+
+			// Proxy-store invariants: refcounts non-negative, owners alive,
+			// and the published/released/resident delta balance holds — a
+			// cancelled loser whose publish leaked would break it.
+			store := env.c.ProxyStore()
+			for _, key := range store.Keys() {
+				if refs := store.Refs(key); refs < 0 {
+					t.Errorf("blob %s has negative refcount %d", key, refs)
+				}
+				ref, ok := store.Resolve(key)
+				if !ok {
+					continue
+				}
+				if w := env.c.Workers()[ref.Owner]; !w.Alive() {
+					t.Errorf("blob %s owned by dead worker %d", key, ref.Owner)
+				}
+			}
+			st := env.c.ProxyStats()
+			if st.Resident < 0 {
+				t.Errorf("negative resident bytes: %+v", st)
+			}
+			var published, released int64
+			for _, ev := range env.rec.proxyEvents {
+				switch ev.Op {
+				case ProxyOpPublish:
+					published += ev.Bytes
+				case ProxyOpFree, ProxyOpReclaim:
+					released += ev.Bytes
+				}
+			}
+			if published != released+st.Resident {
+				t.Errorf("resident delta stream unbalanced: published %d, released %d, resident %d",
+					published, released, st.Resident)
+			}
+		})
+	}
+	if totalLaunched == 0 {
+		t.Fatal("no trial launched a speculation — the schedule no longer exercises hedging")
+	}
+}

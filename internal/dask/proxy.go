@@ -36,13 +36,34 @@ func (pp *proxyPlane) emit(op string, key TaskKey, worker string, bytes int64, l
 // producing worker incarnation. Republishing a recomputed key first frees
 // the stale blob, which gets its own free event so resident accounting
 // stays a pure delta stream.
+//
+// First-write-wins fence: when the key already has a blob owned by a
+// DIFFERENT worker whose incarnation is still alive, this publish is the
+// losing half of a speculation race (every legitimate republish path — lost
+// replica, recompute, resume — has a dead or restarted prior owner) and is
+// rejected, so a cancelled attempt's output never displaces the winner's
+// blob or strands its reference counts.
 func (pp *proxyPlane) publish(key TaskKey, owner, incarnation int, size int64, workerAddr string) proxystore.Ref {
+	if old, ok := pp.store.Lookup(string(key)); ok && old.Owner != owner {
+		ow := pp.c.workers[old.Owner]
+		if ow.alive && ow.incarnation == old.Incarnation {
+			pp.emit(ProxyOpDuplicate, key, workerAddr, size, 0)
+			return old
+		}
+	}
 	ref, replaced := pp.store.Publish(string(key), owner, incarnation, size)
 	if replaced >= 0 {
 		pp.emit(ProxyOpFree, key, workerAddr, replaced, 0)
 	}
 	pp.emit(ProxyOpPublish, key, workerAddr, size, 0)
 	return ref
+}
+
+// lookup inspects a key's blob without perturbing resolve statistics — the
+// scheduler's speculation settlement uses it to align its winner with the
+// store's first publisher.
+func (pp *proxyPlane) lookup(key TaskKey) (proxystore.Ref, bool) {
+	return pp.store.Lookup(string(key))
 }
 
 // resolve looks up a reference on behalf of a consuming worker. A miss is

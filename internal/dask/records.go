@@ -106,6 +106,10 @@ const (
 	ProxyOpMiss    = "miss"    // reference dangled: blob reclaimed or absent
 	ProxyOpFree    = "free"    // refcount drained or scheduler freed the blob
 	ProxyOpReclaim = "reclaim" // owner died; blobs swept at eviction
+	// ProxyOpDuplicate: a publish was rejected by the first-write-wins fence —
+	// the losing attempt of a speculation race tried to displace the winner's
+	// live blob.
+	ProxyOpDuplicate = "duplicate"
 )
 
 // ProxyEvent is one pass-by-reference store operation, streamed to the
@@ -205,6 +209,52 @@ type StealEvent struct {
 	At     sim.Time `json:"at"`
 }
 
+// Speculation event kinds carried by SpeculationEvent records.
+const (
+	// SpecLaunched: the scheduler dispatched a duplicate attempt of a
+	// flagged straggling task to a second worker.
+	SpecLaunched = "launched"
+	// SpecWon: one attempt of a speculated task completed first and its
+	// output became the task's result.
+	SpecWon = "won"
+	// SpecCancelled: the losing attempt was cancelled; its output (if the
+	// cancel raced completion) is fenced off and never becomes visible.
+	SpecCancelled = "cancelled"
+	// SpecFailed: a speculative attempt erred or its worker died before
+	// either attempt finished; the primary attempt continues alone.
+	SpecFailed = "failed"
+	// SpecPromoted: the primary attempt's worker died while a duplicate was
+	// in flight; the duplicate was promoted to sole attempt.
+	SpecPromoted = "promoted"
+	// SpecRetry: one RPC retry under the adaptive retry policy (produced by
+	// the session's retry observer, not the scheduler).
+	SpecRetry = "retry"
+	// SpecBudgetExhausted: a retry was denied because the per-run retry
+	// budget drained; the call surfaced a clean error instead of storming.
+	SpecBudgetExhausted = "budget_exhausted"
+)
+
+// SpeculationEvent is one speculation or retry decision, streamed to the
+// speculation provenance topic: why a duplicate was launched, which attempt
+// won, what the loser wasted, and every adaptive-retry backoff.
+type SpeculationEvent struct {
+	Kind string  `json:"kind"`
+	Key  TaskKey `json:"key,omitempty"`
+	// Primary and Duplicate are the two attempts' worker addresses (for
+	// retry records, Primary holds the destination address instead).
+	Primary   string `json:"primary,omitempty"`
+	Duplicate string `json:"duplicate,omitempty"`
+	// Winner is the completing worker for "won" events.
+	Winner string `json:"winner,omitempty"`
+	// Wasted is the virtual time the cancelled losing attempt had been
+	// running — the wasted-speculative-seconds live lane sums this field.
+	Wasted sim.Time `json:"wasted,omitempty"`
+	// Attempt is the retry ordinal for "retry" records.
+	Attempt int      `json:"attempt,omitempty"`
+	Detail  string   `json:"detail,omitempty"`
+	At      sim.Time `json:"at"`
+}
+
 // SchedulerPlugin observes scheduler-side events, like a
 // distributed.SchedulerPlugin.
 type SchedulerPlugin interface {
@@ -212,6 +262,7 @@ type SchedulerPlugin interface {
 	SchedulerTransition(t Transition)
 	GraphDone(graphID int, at sim.Time)
 	Stolen(ev StealEvent)
+	Speculation(ev SpeculationEvent)
 }
 
 // WorkerPlugin observes worker-side events, like a distributed.WorkerPlugin.
@@ -238,6 +289,9 @@ func (NopSchedulerPlugin) GraphDone(int, sim.Time) {}
 
 // Stolen implements SchedulerPlugin.
 func (NopSchedulerPlugin) Stolen(StealEvent) {}
+
+// Speculation implements SchedulerPlugin.
+func (NopSchedulerPlugin) Speculation(SpeculationEvent) {}
 
 // NopWorkerPlugin is an embeddable no-op WorkerPlugin.
 type NopWorkerPlugin struct{}

@@ -51,6 +51,15 @@ type Scheduler struct {
 	// reference (see schedTask.resumePinned), dropped after the run.
 	resumePins []TaskKey
 
+	// Speculative (hedged) execution state: the optional external straggler
+	// advisor, the per-prefix completed-duration history behind the built-in
+	// quantile policy, and the in-flight / per-run launch counters that bound
+	// hedging (see speculate.go).
+	specAdvisor  SpeculationAdvisor
+	specSamples  map[string][]float64
+	specInFlight int
+	specLaunches int
+
 	nextPriority int
 	stealCount   int
 	lostCount    int
@@ -82,6 +91,16 @@ type schedTask struct {
 	whoHas       map[int]struct{} // worker ranks holding the result
 	processingOn int              // rank, valid in StateProcessing
 	size         int64
+
+	// startedAt is when the current primary assignment was dispatched — the
+	// speculation tick measures elapsed runtime against it.
+	startedAt sim.Time
+	// speculating marks a live duplicate (hedged) attempt on speculativeOn,
+	// dispatched specStartedAt; the first attempt to report wins and the
+	// other is cancelled (see speculate.go).
+	speculating   bool
+	speculativeOn int
+	specStartedAt sim.Time
 
 	// viaProxy marks a result published to the proxy store: dependents
 	// receive a reference instead of a payload, and the blob's refcount
@@ -153,12 +172,13 @@ func newScheduler(c *Cluster, node *platform.Node) *Scheduler {
 	s := &Scheduler{
 		c:          c,
 		node:       node,
-		tasks:      make(map[TaskKey]*schedTask),
-		graphs:     make(map[int]*graphState),
-		prefixDur:  make(map[string]*durAvg),
-		stealing:   make(map[TaskKey]bool),
-		memberRank: make(map[ssg.MemberID]int),
-		rng:        c.kernel.RNG("dask/scheduler"),
+		tasks:       make(map[TaskKey]*schedTask),
+		graphs:      make(map[int]*graphState),
+		prefixDur:   make(map[string]*durAvg),
+		stealing:    make(map[TaskKey]bool),
+		memberRank:  make(map[ssg.MemberID]int),
+		specSamples: make(map[string][]float64),
+		rng:         c.kernel.RNG("dask/scheduler"),
 	}
 	s.group = ssg.NewGroup("dask/workers", ssg.Config{
 		SuspectAfter: time.Duration(c.cfg.WorkerTTL) / 2,
@@ -209,9 +229,19 @@ func (s *Scheduler) start() {
 		s.c.kernel.After(s.c.cfg.StealInterval, s.stealTick)
 	}
 	if s.c.cfg.WorkerTTL > 0 {
-		s.c.kernel.Every(s.c.cfg.HeartbeatInterval, func() {
+		// The TTL sweep period carries the same deterministic jitter as worker
+		// heartbeats, so a batch of simultaneously restarted workers is never
+		// evicted in one synchronized storm on an exact sweep boundary.
+		sweepRNG := s.c.kernel.RNG("dask/scheduler/sweep")
+		var sweep func()
+		sweep = func() {
 			s.group.Sweep(s.ssgNow())
-		})
+			s.c.kernel.After(sweepRNG.JitterTime(s.c.cfg.HeartbeatInterval, s.c.cfg.HeartbeatJitterCV), sweep)
+		}
+		s.c.kernel.After(sweepRNG.JitterTime(s.c.cfg.HeartbeatInterval, s.c.cfg.HeartbeatJitterCV), sweep)
+	}
+	if s.c.cfg.Speculation.Enabled {
+		s.c.kernel.Every(s.c.cfg.Speculation.Interval, s.speculationTick)
 	}
 }
 
@@ -320,13 +350,20 @@ func (s *Scheduler) evictWorker(wh *workerHandle, reason string) {
 	var affected []*schedTask
 	for _, ts := range s.tasks {
 		_, holds := ts.whoHas[wh.rank]
-		if holds || (ts.state == StateProcessing && ts.processingOn == wh.rank) {
+		if holds || (ts.state == StateProcessing && ts.processingOn == wh.rank) ||
+			(ts.speculating && ts.speculativeOn == wh.rank) {
 			affected = append(affected, ts)
 		}
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i].priority < affected[j].priority })
 
 	for _, ts := range affected {
+		if ts.speculating && ts.speculativeOn == wh.rank {
+			// The duplicate attempt died with its worker; the primary
+			// continues alone. (Handle bookkeeping was zeroed above.)
+			s.clearSpeculation(ts, "duplicate attempt's worker died")
+			continue
+		}
 		if _, holds := ts.whoHas[wh.rank]; holds {
 			delete(ts.whoHas, wh.rank)
 			if len(ts.whoHas) == 0 && ts.state == StateMemory {
@@ -338,6 +375,13 @@ func (s *Scheduler) evictWorker(wh *workerHandle, reason string) {
 					s.transition(ts, StateReleased, "lost-data")
 				}
 			}
+			continue
+		}
+		if ts.speculating {
+			// The primary died while a duplicate is in flight: the duplicate
+			// is promoted to sole attempt — exactly the scenario hedging
+			// exists for, so no requeue and no suspicion charge.
+			s.promoteSpeculative(ts, "primary attempt's worker died")
 			continue
 		}
 		// Processing on the dead worker: requeue, unless this task has now
@@ -448,7 +492,18 @@ func (s *Scheduler) handleMissingData(rank, srcRank int, keys []TaskKey) {
 	src := s.workers[srcRank]
 	for _, k := range keys {
 		ts, ok := s.tasks[k]
-		if !ok || ts.state != StateProcessing || ts.processingOn != rank {
+		if !ok || ts.state != StateProcessing {
+			continue
+		}
+		if ts.speculating && ts.speculativeOn == rank {
+			// The duplicate attempt surrendered mid-fetch; the primary
+			// continues alone. The dead source is still scrubbed from the
+			// dependency replica sets.
+			s.clearSpeculation(ts, "duplicate attempt lost a dependency source mid-fetch")
+			s.scrubDeadSource(ts, src)
+			continue
+		}
+		if ts.processingOn != rank {
 			continue
 		}
 		delete(wh.processing, k)
@@ -456,23 +511,35 @@ func (s *Scheduler) handleMissingData(rank, srcRank int, keys []TaskKey) {
 		if wh.occupancy < 0 {
 			wh.occupancy = 0
 		}
-		for _, d := range ts.spec.Deps {
-			dt := s.tasks[d]
-			if _, held := dt.whoHas[srcRank]; !held || src.w.alive {
-				continue
-			}
-			delete(dt.whoHas, srcRank)
-			if len(dt.whoHas) == 0 && dt.state == StateMemory && s.needed(dt) {
-				s.emitRecovery(WarnKeyRecomputed, src.w.addr, src.w.node.Hostname,
-					fmt.Sprintf("key %s lost its last replica; recomputing", dt.spec.Key))
-				s.recomputeKey(dt)
-			}
+		s.scrubDeadSource(ts, src)
+		if ts.speculating {
+			// The primary surrendered while a duplicate is in flight: promote
+			// the duplicate instead of rescheduling alongside it.
+			s.promoteSpeculative(ts, "primary attempt lost a dependency source mid-fetch")
+			continue
 		}
 		s.emitRecovery(WarnTaskRescheduled, wh.w.addr, wh.w.node.Hostname,
 			fmt.Sprintf("task %s lost a dependency source mid-fetch; rescheduling", k))
 		s.rescheduleTask(ts, "missing-data")
 	}
 	s.drainQueued()
+}
+
+// scrubDeadSource removes a dead source worker from a surrendered task's
+// dependency replica sets, recomputing any key that lost its last replica.
+func (s *Scheduler) scrubDeadSource(ts *schedTask, src *workerHandle) {
+	for _, d := range ts.spec.Deps {
+		dt := s.tasks[d]
+		if _, held := dt.whoHas[src.rank]; !held || src.w.alive {
+			continue
+		}
+		delete(dt.whoHas, src.rank)
+		if len(dt.whoHas) == 0 && dt.state == StateMemory && s.needed(dt) {
+			s.emitRecovery(WarnKeyRecomputed, src.w.addr, src.w.node.Hostname,
+				fmt.Sprintf("key %s lost its last replica; recomputing", dt.spec.Key))
+			s.recomputeKey(dt)
+		}
+	}
 }
 
 // ConnectedWorkers reports how many workers completed their handshake.
@@ -511,13 +578,14 @@ func (s *Scheduler) handleGraph(g *Graph) {
 			panic(fmt.Sprintf("dask: task %q resubmitted in graph %d", k, g.ID))
 		}
 		ts := &schedTask{
-			spec:      spec,
-			graphID:   g.ID,
-			state:     StateReleased,
-			priority:  s.nextPriority,
-			waitingOn: make(map[TaskKey]struct{}),
-			whoHas:    make(map[int]struct{}),
-			isOutput:  leaves[k],
+			spec:          spec,
+			graphID:       g.ID,
+			state:         StateReleased,
+			priority:      s.nextPriority,
+			waitingOn:     make(map[TaskKey]struct{}),
+			whoHas:        make(map[int]struct{}),
+			isOutput:      leaves[k],
+			speculativeOn: -1,
 		}
 		s.nextPriority++
 		s.tasks[k] = ts
@@ -761,10 +829,17 @@ func (s *Scheduler) drainQueued() {
 
 func (s *Scheduler) assign(ts *schedTask, wh *workerHandle, stimulus string) {
 	ts.processingOn = wh.rank
+	ts.startedAt = s.c.kernel.Now()
 	wh.processing[ts.spec.Key] = struct{}{}
 	wh.occupancy += s.estimate(ts.spec.Prefix())
 	s.transition(ts, StateProcessing, stimulus)
+	s.sendAssignment(ts, wh)
+}
 
+// sendAssignment ships a task's compute-task message (spec, priority, and
+// dependency locations/references) to a worker — shared by primary
+// assignments and speculative duplicates.
+func (s *Scheduler) sendAssignment(ts *schedTask, wh *workerHandle) {
 	deps := make([]depInfo, 0, len(ts.spec.Deps))
 	for _, d := range ts.spec.Deps {
 		dt := s.tasks[d]
@@ -789,7 +864,16 @@ func (s *Scheduler) assign(ts *schedTask, wh *workerHandle, stimulus string) {
 // eventually completes the graph with an error.
 func (s *Scheduler) handleErred(rank int, key TaskKey, msg string) {
 	ts, ok := s.tasks[key]
-	if !ok || ts.state != StateProcessing || ts.processingOn != rank {
+	if !ok || ts.state != StateProcessing {
+		return
+	}
+	if ts.speculating && ts.speculativeOn == rank {
+		// The duplicate attempt erred; the primary continues alone. Hedging
+		// is an optimization, so a duplicate failure never errs the task.
+		s.clearSpeculation(ts, fmt.Sprintf("duplicate attempt erred: %s", msg))
+		return
+	}
+	if ts.processingOn != rank {
 		return
 	}
 	wh := s.workers[rank]
@@ -797,6 +881,12 @@ func (s *Scheduler) handleErred(rank int, key TaskKey, msg string) {
 	wh.occupancy -= s.estimate(ts.spec.Prefix())
 	if wh.occupancy < 0 {
 		wh.occupancy = 0
+	}
+	if ts.speculating {
+		// The primary erred while a duplicate is in flight: promote the
+		// duplicate to sole attempt instead of burning a retry.
+		s.promoteSpeculative(ts, fmt.Sprintf("primary attempt erred: %s", msg))
+		return
 	}
 	if ts.retries < ts.spec.MaxRetries {
 		ts.retries++
@@ -857,8 +947,24 @@ func (s *Scheduler) finishGraphTask(graphID int) {
 // a result published to the proxy store instead of shipped directly.
 func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Time, proxied bool) {
 	ts, ok := s.tasks[key]
-	if !ok || ts.state != StateProcessing || ts.processingOn != rank {
+	if !ok || ts.state != StateProcessing {
 		return // stale report (e.g. task was stolen mid-flight)
+	}
+	if ts.processingOn != rank && !(ts.speculating && ts.speculativeOn == rank) {
+		return // neither the primary nor the live duplicate attempt
+	}
+	if ts.speculating {
+		if proxied {
+			if ref, ok := s.c.proxy.lookup(key); ok && ref.Owner != rank {
+				// Both attempts raced to publish and the store's
+				// first-write-wins fence kept the other attempt's blob. Drop
+				// this report — the blob owner's report is in flight and wins,
+				// so the scheduler's winner and the store's owner never
+				// diverge.
+				return
+			}
+		}
+		s.settleSpeculation(ts, rank)
 	}
 	wh := s.workers[rank]
 	delete(wh.processing, key)
@@ -871,6 +977,7 @@ func (s *Scheduler) handleFinished(rank int, key TaskKey, size int64, dur sim.Ti
 		s.prefixDur[pfx] = &durAvg{}
 	}
 	s.prefixDur[pfx].add(dur)
+	s.observeSpecDuration(pfx, dur)
 
 	ts.size = size
 	ts.viaProxy = proxied
@@ -1050,7 +1157,9 @@ func (s *Scheduler) stealTick() {
 		var pick *schedTask
 		for k := range victim.processing {
 			ts := s.tasks[k]
-			if len(ts.spec.Restrictions) > 0 || s.stealing[k] {
+			if len(ts.spec.Restrictions) > 0 || s.stealing[k] || ts.speculating {
+				// Speculated tasks are pinned: moving either attempt would
+				// race the first-completion-wins settlement.
 				continue
 			}
 			if pick == nil || ts.priority > pick.priority {

@@ -1,0 +1,291 @@
+package dask
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"taskprov/internal/sim"
+)
+
+// SpeculationAdvisor is an external straggler detector the scheduler's
+// speculation tick consults — the live pipeline's MAD-based anomaly detector
+// implements it. Observe feeds one completed duration per prefix; Straggler
+// asks whether a task of that prefix that has been running for
+// elapsedSeconds should be hedged. When an advisor is installed it widens
+// detection: a task is speculated when either the advisor or the built-in
+// per-prefix quantile policy flags it.
+type SpeculationAdvisor interface {
+	Observe(prefix string, seconds float64)
+	Straggler(prefix string, elapsedSeconds float64) bool
+}
+
+// specMinSamples is how many completed durations a prefix needs before the
+// built-in quantile policy trusts its empirical distribution; below it the
+// occupancy estimate (prefix mean or DefaultTaskDuration) stands in.
+const specMinSamples = 8
+
+// specSampleCap bounds the per-prefix duration history; when full, the older
+// half is discarded (recent completions dominate under changing conditions).
+const specSampleCap = 4096
+
+// observeSpecDuration feeds one completed duration into the speculation
+// policy's per-prefix history and the external advisor, if any.
+func (s *Scheduler) observeSpecDuration(prefix string, dur sim.Time) {
+	if s.specAdvisor != nil {
+		s.specAdvisor.Observe(prefix, dur.Seconds())
+	}
+	if !s.c.cfg.Speculation.Enabled {
+		return
+	}
+	samples := s.specSamples[prefix]
+	if len(samples) >= specSampleCap {
+		samples = append(samples[:0], samples[specSampleCap/2:]...)
+	}
+	s.specSamples[prefix] = append(samples, dur.Seconds())
+}
+
+// quantileAt returns the q-quantile of samples by linear interpolation.
+func quantileAt(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), samples...)
+	sort.Float64s(cp)
+	pos := q * float64(len(cp)-1)
+	lo := int(pos)
+	if lo >= len(cp)-1 {
+		return cp[len(cp)-1]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}
+
+// stragglerThreshold is the elapsed-seconds bar beyond which a running task
+// of the given prefix counts as straggling under the built-in policy:
+// SlowFactor times the prefix's completed-duration quantile (or, with too few
+// samples, the occupancy estimate).
+func (s *Scheduler) stragglerThreshold(prefix string) float64 {
+	cfg := s.c.cfg.Speculation
+	if samples := s.specSamples[prefix]; len(samples) >= specMinSamples {
+		return quantileAt(samples, cfg.Quantile) * cfg.SlowFactor
+	}
+	return s.estimate(prefix).Seconds() * cfg.SlowFactor
+}
+
+// isStraggler reports whether a task of the given prefix, running for
+// elapsed, should be hedged.
+func (s *Scheduler) isStraggler(prefix string, elapsed sim.Time) bool {
+	if s.specAdvisor != nil && s.specAdvisor.Straggler(prefix, elapsed.Seconds()) {
+		return true
+	}
+	return elapsed.Seconds() > s.stragglerThreshold(prefix)
+}
+
+// emitSpeculation fans a speculation decision out to the scheduler plugins,
+// landing it on the speculation provenance topic.
+func (s *Scheduler) emitSpeculation(ev SpeculationEvent) {
+	for _, p := range s.c.schedPlugins {
+		p.Speculation(ev)
+	}
+}
+
+// SpeculativeLaunches reports how many duplicate attempts were dispatched.
+func (s *Scheduler) SpeculativeLaunches() int { return s.specLaunches }
+
+// speculationTick scans processing tasks for stragglers and hedges them,
+// bounded by the in-flight cap and the per-run budget. Candidates are
+// examined in priority order so the decision sequence reproduces per seed.
+func (s *Scheduler) speculationTick() {
+	cfg := s.c.cfg.Speculation
+	if s.specLaunches >= cfg.Budget || s.specInFlight >= cfg.MaxConcurrent {
+		return
+	}
+	now := s.c.kernel.Now()
+	var cands []*schedTask
+	for _, ts := range s.tasks {
+		if ts.state != StateProcessing || ts.speculating || s.stealing[ts.spec.Key] {
+			continue
+		}
+		if !s.workers[ts.processingOn].connected {
+			continue // eviction is about to recover it anyway
+		}
+		elapsed := now - ts.startedAt
+		if elapsed < cfg.MinRuntime {
+			continue
+		}
+		if !s.isStraggler(ts.spec.Prefix(), elapsed) {
+			continue
+		}
+		cands = append(cands, ts)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].priority < cands[j].priority })
+	for _, ts := range cands {
+		if s.specInFlight >= cfg.MaxConcurrent || s.specLaunches >= cfg.Budget {
+			return
+		}
+		s.speculate(ts, now)
+	}
+}
+
+// decideDuplicate picks the worker for a duplicate attempt: any connected
+// worker other than the primary (restrictions permitting), scored with the
+// same occupancy + fetch-cost objective as decideWorker. Returns nil when no
+// second worker is available.
+func (s *Scheduler) decideDuplicate(ts *schedTask) *workerHandle {
+	const netBW = 100e6
+	allowed := func(wh *workerHandle) bool {
+		if len(ts.spec.Restrictions) == 0 {
+			return true
+		}
+		for _, r := range ts.spec.Restrictions {
+			if r == wh.w.addr {
+				return true
+			}
+		}
+		return false
+	}
+	var best []*workerHandle
+	bestScore := math.Inf(1)
+	for _, wh := range s.workers {
+		if !wh.connected || wh.rank == ts.processingOn || !allowed(wh) {
+			continue
+		}
+		fetch := int64(0)
+		missing := 0
+		for _, d := range ts.spec.Deps {
+			dt := s.tasks[d]
+			if dt == nil {
+				continue
+			}
+			if _, has := dt.whoHas[wh.rank]; !has {
+				fetch += dt.size
+				missing++
+			}
+		}
+		score := wh.occupancy.Seconds()/float64(s.c.cfg.ThreadsPerWorker) +
+			float64(fetch)/netBW + 0.01*float64(missing)
+		switch {
+		case score < bestScore-1e-9:
+			bestScore = score
+			best = best[:0]
+			best = append(best, wh)
+		case score <= bestScore+1e-9:
+			best = append(best, wh)
+		}
+	}
+	if len(best) == 0 {
+		return nil
+	}
+	return best[s.rng.Intn(len(best))]
+}
+
+// speculate launches a duplicate attempt of a flagged straggler on a second
+// worker. The task stays in StateProcessing on its primary; the duplicate
+// rides the same assignment path, and whichever attempt reports first wins.
+func (s *Scheduler) speculate(ts *schedTask, now sim.Time) {
+	wh := s.decideDuplicate(ts)
+	if wh == nil {
+		return
+	}
+	primary := s.workers[ts.processingOn]
+	ts.speculating = true
+	ts.speculativeOn = wh.rank
+	ts.specStartedAt = now
+	s.specInFlight++
+	s.specLaunches++
+	wh.processing[ts.spec.Key] = struct{}{}
+	wh.occupancy += s.estimate(ts.spec.Prefix())
+	s.emitSpeculation(SpeculationEvent{
+		Kind: SpecLaunched, Key: ts.spec.Key,
+		Primary: primary.w.addr, Duplicate: wh.w.addr,
+		Detail: fmt.Sprintf("straggling for %s on %s", (now - ts.startedAt).String(), primary.w.addr),
+		At:     now,
+	})
+	s.sendAssignment(ts, wh)
+}
+
+// settleSpeculation resolves a speculated task in favor of the attempt on
+// winnerRank: the losing attempt's bookkeeping is undone, the win/cancel
+// event pair is emitted, and a cancel message fences the loser worker-side.
+// Called from handleFinished before the normal completion path runs.
+func (s *Scheduler) settleSpeculation(ts *schedTask, winnerRank int) {
+	key := ts.spec.Key
+	now := s.c.kernel.Now()
+	primaryAddr := s.workers[ts.processingOn].w.addr
+	dupAddr := s.workers[ts.speculativeOn].w.addr
+	loserRank := ts.speculativeOn
+	loserStart := ts.specStartedAt
+	if winnerRank == ts.speculativeOn {
+		loserRank = ts.processingOn
+		loserStart = ts.startedAt
+		// The surviving attempt is now the task's only attempt.
+		ts.processingOn = winnerRank
+		ts.startedAt = ts.specStartedAt
+	}
+	ts.speculating = false
+	ts.speculativeOn = -1
+	s.specInFlight--
+	lw := s.workers[loserRank]
+	delete(lw.processing, key)
+	lw.occupancy -= s.estimate(ts.spec.Prefix())
+	if lw.occupancy < 0 {
+		lw.occupancy = 0
+	}
+	s.emitSpeculation(SpeculationEvent{
+		Kind: SpecWon, Key: key, Primary: primaryAddr, Duplicate: dupAddr,
+		Winner: s.workers[winnerRank].w.addr, At: now,
+	})
+	s.emitSpeculation(SpeculationEvent{
+		Kind: SpecCancelled, Key: key, Primary: primaryAddr, Duplicate: dupAddr,
+		Wasted: now - loserStart,
+		Detail: fmt.Sprintf("losing attempt on %s cancelled", lw.w.addr),
+		At:     now,
+	})
+	if lw.connected && lw.w.alive {
+		w := lw.w
+		s.c.control(s.node, w.node, func() { w.handleCancel(key) })
+	}
+}
+
+// clearSpeculation abandons a task's duplicate attempt (it erred, its worker
+// died, or it surrendered mid-fetch); the primary attempt continues alone.
+// The duplicate's handle bookkeeping is undone unless its worker was already
+// evicted (eviction zeroes the handle wholesale).
+func (s *Scheduler) clearSpeculation(ts *schedTask, detail string) {
+	key := ts.spec.Key
+	lw := s.workers[ts.speculativeOn]
+	if lw.connected {
+		delete(lw.processing, key)
+		lw.occupancy -= s.estimate(ts.spec.Prefix())
+		if lw.occupancy < 0 {
+			lw.occupancy = 0
+		}
+	}
+	s.emitSpeculation(SpeculationEvent{
+		Kind: SpecFailed, Key: key,
+		Primary:   s.workers[ts.processingOn].w.addr,
+		Duplicate: lw.w.addr,
+		Detail:    detail, At: s.c.kernel.Now(),
+	})
+	ts.speculating = false
+	ts.speculativeOn = -1
+	s.specInFlight--
+}
+
+// promoteSpeculative makes a task's duplicate attempt its only attempt after
+// the primary died or surrendered. The caller has already undone the
+// primary's handle bookkeeping; the task stays in StateProcessing.
+func (s *Scheduler) promoteSpeculative(ts *schedTask, detail string) {
+	s.emitSpeculation(SpeculationEvent{
+		Kind: SpecPromoted, Key: ts.spec.Key,
+		Primary:   s.workers[ts.processingOn].w.addr,
+		Duplicate: s.workers[ts.speculativeOn].w.addr,
+		Detail:    detail, At: s.c.kernel.Now(),
+	})
+	ts.processingOn = ts.speculativeOn
+	ts.startedAt = ts.specStartedAt
+	ts.speculating = false
+	ts.speculativeOn = -1
+	s.specInFlight--
+}

@@ -36,6 +36,10 @@ type wTask struct {
 	state    TaskState
 	missing  int // dependency fetches still in flight
 	stolen   bool
+	// cancelled marks a losing speculative attempt: when the executing body
+	// finishes it discards its result instead of storing, publishing, or
+	// reporting it — the worker-side half of the attempt fence.
+	cancelled bool
 	// lazy holds proxied dependencies whose payloads have not been demanded
 	// yet; they resolve when the task reaches the front of the ready queue.
 	lazy []depInfo
@@ -75,6 +79,12 @@ type Worker struct {
 	alive       bool
 	incarnation int
 
+	// slowFactor > 1 dilates this worker's compute and I/O service times —
+	// chaos brownout injection ("slow worker=N ..."). It models the host
+	// being degraded (thermal throttle, noisy neighbor), so it survives
+	// process kill/restart cycles.
+	slowFactor float64
+
 	executedCount int
 	transferCount int
 }
@@ -89,6 +99,8 @@ func newWorker(c *Cluster, rank int, node *platform.Node, tracer posixio.Tracer)
 		peers:    make(map[int]bool),
 		alive:    true,
 		rng:      c.kernel.RNG("dask/worker/" + workerAddr(node.Hostname, rank)),
+
+		slowFactor: 1,
 	}
 	for t := 0; t < c.cfg.ThreadsPerWorker; t++ {
 		w.freeThreads = append(w.freeThreads, t)
@@ -185,7 +197,11 @@ func (w *Worker) restart() {
 
 func (w *Worker) scheduleHeartbeat() {
 	inc := w.incarnation
-	w.c.kernel.After(w.c.cfg.HeartbeatInterval, func() {
+	// Deterministic per-worker jitter desynchronizes heartbeat arrivals: a
+	// batch of workers restarted at the same instant would otherwise tick —
+	// and, on the TTL side, be declared dead — in one synchronized storm.
+	period := w.rng.JitterTime(w.c.cfg.HeartbeatInterval, w.c.cfg.HeartbeatJitterCV)
+	w.c.kernel.After(period, func() {
 		if !w.alive || w.incarnation != inc {
 			return
 		}
@@ -499,6 +515,18 @@ func (w *Worker) execute(wt *wTask, slot int) {
 			return
 		}
 
+		if wt.cancelled {
+			// Losing speculative attempt, cancelled while executing: discard
+			// the result without storing, publishing, or reporting it — the
+			// worker-side fence that keeps exactly one visible execution per
+			// key.
+			delete(w.tasks, wt.spec.Key)
+			w.transition(wt, StateReleased, "speculation-cancelled")
+			w.freeThreads = append(w.freeThreads, slot)
+			w.dispatch()
+			return
+		}
+
 		if ctx.failure != "" {
 			// The task body raised: report the error instead of a result
 			// (Dask's task-erred path). The thread is released; the
@@ -585,6 +613,42 @@ func (w *Worker) handleFree(key TaskKey) {
 		w.transition(wt, StateReleased, "free-keys")
 		delete(w.tasks, key)
 	}
+}
+
+// handleCancel withdraws a losing speculative attempt. A queued attempt is
+// removed like a stolen task; an executing attempt is flagged so its body
+// discards the result on completion; an attempt that already reached memory
+// (the cancel raced the completion report, which the scheduler drops) has
+// its stray local replica freed. The proxy-store publish of a raced loser is
+// rejected by the store's first-write-wins dedupe, so no path lets a
+// cancelled attempt's output become visible.
+func (w *Worker) handleCancel(key TaskKey) {
+	if !w.alive {
+		return
+	}
+	wt, ok := w.tasks[key]
+	if !ok {
+		return // never assigned here, or already surrendered
+	}
+	switch wt.state {
+	case WStateExecuting:
+		wt.cancelled = true
+		return
+	case WStateReady:
+		if !w.ready.remove(wt) {
+			return
+		}
+	case WStateWaiting, WStateFetching:
+		// In-flight dependency transfers simply land as cached data.
+		wt.stolen = true
+	case WStateMemory:
+		if size, held := w.data[key]; held {
+			delete(w.data, key)
+			w.memBytes -= size
+		}
+	}
+	delete(w.tasks, key)
+	w.transition(wt, StateReleased, "speculation-cancelled")
 }
 
 // handleStealRequest reports whether the task could be surrendered (it must
@@ -689,6 +753,10 @@ func (ctx *TaskContext) SetOutputSize(n int64) { ctx.outputSize = n }
 // tasks — feeding the unresponsive-loop monitor.
 func (ctx *TaskContext) Compute(nominal sim.Time) {
 	d := ctx.w.node.ComputeDuration(nominal)
+	if f := ctx.w.slowFactor; f > 1 {
+		// Brownout: the host is degraded, every compute segment stretches.
+		d = sim.Time(float64(d) * f)
+	}
 	if cv := ctx.w.c.cfg.ComputeJitterCV; cv > 0 {
 		d = ctx.w.rng.JitterTime(d, cv)
 	}
@@ -715,7 +783,16 @@ func (ctx *TaskContext) Open(path string, flags int) (*posixio.File, error) {
 			ctx.wrotePaths = append(ctx.wrotePaths, norm)
 		}
 	}
-	return ctx.w.c.fs.Open(ctx.proc, ctx.w.tracer, ctx.tid, path, flags)
+	f, err := ctx.w.c.fs.Open(ctx.proc, ctx.w.tracer, ctx.tid, path, flags)
+	if err != nil {
+		return nil, err
+	}
+	// A browned-out worker's I/O service time dilates along with its
+	// compute; the factor is sampled per operation so a mid-task slowdown
+	// (or recovery) takes effect immediately.
+	w := ctx.w
+	f.SetDilation(func() float64 { return w.slowFactor })
+	return f, nil
 }
 
 // fileEffects snapshots the sizes of every file this task opened for
@@ -748,6 +825,9 @@ func (ctx *TaskContext) Measure(fn func()) {
 	elapsed := nowWall() - startWall
 	if elapsed < 0 {
 		elapsed = 0
+	}
+	if f := ctx.w.slowFactor; f > 1 {
+		elapsed = int64(float64(elapsed) * f)
 	}
 	if ctx.spec.BlocksEventLoop {
 		now := ctx.proc.Now()

@@ -144,6 +144,29 @@ type ProxyStats struct {
 	MeanResolveSeconds float64 `json:"mean_resolve_seconds"`
 }
 
+// SpeculationStats aggregates the speculation provenance topic: the hedged
+// execution lane (duplicate attempts launched, winners, cancelled and failed
+// losers, promotions) plus the adaptive-retry lane (retries sent, budget
+// denials). Counters commute; WastedSeconds — the virtual time cancelled
+// losing attempts had been running — is summed per (topic, partition) lane so
+// the figure is deterministic regardless of consumption order.
+type SpeculationStats struct {
+	Launched        int64 `json:"launched"`
+	Won             int64 `json:"won"`
+	Cancelled       int64 `json:"cancelled"`
+	Failed          int64 `json:"failed"`
+	Promoted        int64 `json:"promoted"`
+	Retries         int64 `json:"retries"`
+	BudgetExhausted int64 `json:"budget_exhausted"`
+
+	// WastedSeconds is the summed runtime of losing attempts at the moment
+	// they were cancelled — the price paid for hedging.
+	WastedSeconds float64 `json:"wasted_seconds"`
+	// RetryRate is retries per wall-clock second (0 until the wall time is
+	// known).
+	RetryRate float64 `json:"retry_rate"`
+}
+
 // HostIOStats aggregates Darshan POSIX counters per hostname (Darshan logs
 // are keyed by host, not by WMS worker name — the paper fuses the two layers
 // on hostname).
@@ -229,6 +252,10 @@ type Summary struct {
 	// streamed no proxy-store events (direct transfers only).
 	Proxy *ProxyStats `json:"proxy,omitempty"`
 
+	// Speculation is the hedged-execution and adaptive-retry lane; nil when
+	// the run streamed no speculation events.
+	Speculation *SpeculationStats `json:"speculation,omitempty"`
+
 	// ConsumerLag is the monitoring consumer's own backlog per
 	// "topic/partition" — events appended but not yet ingested. Zero
 	// entries are omitted; a fully drained monitor reports none. Set by
@@ -252,6 +279,7 @@ type lane struct {
 	commSeconds    float64
 	execSeconds    float64
 	resolveSeconds float64 // proxy demand-to-arrival latency sums
+	wastedSeconds  float64 // cancelled speculative attempts' runtime sums
 	workerExec     map[string]float64
 }
 
@@ -299,6 +327,10 @@ type Aggregator struct {
 	// proxy holds the integer counters of the proxy-store lane (nil until
 	// the first proxy event); its float ResolveSeconds lives in the lanes.
 	proxy *ProxyStats
+
+	// spec holds the integer counters of the speculation lane (nil until the
+	// first speculation event); its float WastedSeconds lives in the lanes.
+	spec *SpeculationStats
 
 	recovery []RecoveryEvent
 	cluster  []RecoveryEvent
@@ -490,6 +522,30 @@ func (a *Aggregator) IngestEvent(topic string, partition int, m mofka.Metadata) 
 		if e.Resident > p.PeakResidentBytes {
 			p.PeakResidentBytes = e.Resident
 		}
+	case provenance.TopicSpeculation:
+		e := provenance.ParseSpeculationEvent(m)
+		if a.spec == nil {
+			a.spec = &SpeculationStats{}
+		}
+		switch e.Kind {
+		case dask.SpecLaunched:
+			a.spec.Launched++
+		case dask.SpecWon:
+			a.spec.Won++
+		case dask.SpecCancelled:
+			a.spec.Cancelled++
+		case dask.SpecFailed:
+			a.spec.Failed++
+		case dask.SpecPromoted:
+			a.spec.Promoted++
+		case dask.SpecRetry:
+			a.spec.Retries++
+		case dask.SpecBudgetExhausted:
+			a.spec.BudgetExhausted++
+		}
+		if e.Wasted > 0 {
+			a.lane(topic, partition).wastedSeconds += e.Wasted.Seconds()
+		}
 	case provenance.TopicTaskMeta:
 		a.submitted++
 		tm := provenance.ParseTaskMeta(m)
@@ -617,12 +673,13 @@ func (a *Aggregator) Snapshot() Summary {
 		return keys[i].part < keys[j].part
 	})
 	workerExec := make(map[string]float64)
-	var resolveSeconds float64
+	var resolveSeconds, wastedSeconds float64
 	for _, k := range keys {
 		l := a.lanes[k]
 		s.RawCommSeconds += l.commSeconds
 		s.RawExecSeconds += l.execSeconds
 		resolveSeconds += l.resolveSeconds
+		wastedSeconds += l.wastedSeconds
 		for w, v := range l.workerExec {
 			workerExec[w] += v // one lane per (topic,part): inner order free
 		}
@@ -634,6 +691,14 @@ func (a *Aggregator) Snapshot() Summary {
 			p.MeanResolveSeconds = p.ResolveSeconds / float64(p.Resolves)
 		}
 		s.Proxy = &p
+	}
+	if a.spec != nil {
+		sp := *a.spec
+		sp.WastedSeconds = wastedSeconds
+		if a.wall > 0 {
+			sp.RetryRate = float64(sp.Retries) / a.wall
+		}
+		s.Speculation = &sp
 	}
 
 	// Host I/O totals, merged in sorted host order.

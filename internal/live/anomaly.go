@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"taskprov/internal/dask"
 	"taskprov/internal/mofka"
@@ -133,6 +134,63 @@ func (s *stragglerAcc) fit() {
 	s.mad = dev[len(dev)/2]
 	s.fitted = true
 	s.sinceFit = 0
+}
+
+// StragglerDetector exposes the online MAD straggler model as a standalone
+// handle the scheduler's speculation policy subscribes to (it satisfies
+// dask.SpeculationAdvisor): completed task durations feed Observe, and
+// Straggler asks whether a still-running task's elapsed time is already an
+// outlier against its group's robust z-score — the same |d − median| /
+// (1.4826·MAD + ε) ≥ StragglerZ test the monitor's anomaly lane applies to
+// completed durations. Safe for concurrent use.
+type StragglerDetector struct {
+	mu     sync.Mutex
+	cfg    AnomalyConfig
+	groups map[string]*stragglerAcc
+}
+
+// NewStragglerDetector builds a detector with the given thresholds (zero
+// value = the monitor's defaults).
+func NewStragglerDetector(cfg AnomalyConfig) *StragglerDetector {
+	return &StragglerDetector{
+		cfg:    cfg.withDefaults(),
+		groups: make(map[string]*stragglerAcc),
+	}
+}
+
+// Observe feeds one completed duration into the group's distribution.
+func (d *StragglerDetector) Observe(group string, seconds float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.groups[group]
+	if s == nil {
+		s = &stragglerAcc{}
+		d.groups[group] = s
+	}
+	if len(s.samples) < stragglerCap {
+		s.samples = append(s.samples, seconds)
+	}
+	s.sinceFit++
+	if !s.fitted && len(s.samples) >= d.cfg.StragglerMinSamples || s.sinceFit >= recomputeEvery {
+		s.fit()
+	}
+}
+
+// Straggler reports whether a task of the group that has already run for
+// elapsedSeconds is a robust-z-score outlier. Elapsed time only grows, so a
+// true verdict can never be retracted by the task finishing later.
+func (d *StragglerDetector) Straggler(group string, elapsedSeconds float64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := d.groups[group]
+	if s == nil || !s.fitted || len(s.samples) < d.cfg.StragglerMinSamples {
+		return false
+	}
+	if elapsedSeconds <= s.median {
+		return false
+	}
+	z := (elapsedSeconds - s.median) / (madConsistency*s.mad + madEpsilon)
+	return z >= d.cfg.StragglerZ
 }
 
 // streakAcc tracks consecutive event-loop warnings per worker.

@@ -616,3 +616,108 @@ func TestAggregatorRecoveryLaneCapped(t *testing.T) {
 		t.Fatalf("warning histogram = %v", s.Warnings)
 	}
 }
+
+// specEv builds one speculation event's metadata.
+func specEv(kind, key string, wasted float64, at float64) mofka.Metadata {
+	return provenance.SpeculationEventMeta(dask.SpeculationEvent{
+		Kind: kind, Key: dask.TaskKey(key), Primary: "tcp://n0:40000",
+		Duplicate: "tcp://n1:40002", Wasted: sim.Seconds(wasted), At: sim.Seconds(at),
+	})
+}
+
+// TestAggregatorSpeculationLane feeds the speculation topic and checks the
+// counters, the wasted-seconds accumulator, and the retry rate — and that
+// the lane is order-independent across partitions like every other lane.
+func TestAggregatorSpeculationLane(t *testing.T) {
+	type fed struct {
+		part int
+		m    mofka.Metadata
+	}
+	events := []fed{
+		{0, specEv(dask.SpecLaunched, "work-01", 0, 1)},
+		{1, specEv(dask.SpecLaunched, "work-02", 0, 1.5)},
+		{0, specEv(dask.SpecWon, "work-01", 0, 3)},
+		{1, specEv(dask.SpecCancelled, "work-01", 2.5, 3)},
+		{0, specEv(dask.SpecFailed, "work-02", 0, 4)},
+		{1, specEv(dask.SpecPromoted, "work-03", 0, 5)},
+		{0, specEv(dask.SpecRetry, "", 0, 6)},
+		{1, specEv(dask.SpecRetry, "", 0, 6.5)},
+		{0, specEv(dask.SpecBudgetExhausted, "", 0, 7)},
+	}
+	feed := func(order []int) Summary {
+		a := NewAggregator(AggregatorOptions{})
+		for _, i := range order {
+			a.IngestEvent(provenance.TopicSpeculation, events[i].part, events[i].m)
+		}
+		a.SetWall(10)
+		return a.Snapshot()
+	}
+	var seq, alt []int
+	for i := range events {
+		seq = append(seq, i)
+	}
+	for _, wantPart := range []int{1, 0} {
+		for i, e := range events {
+			if e.part == wantPart {
+				alt = append(alt, i)
+			}
+		}
+	}
+	s1, s2 := feed(seq), feed(alt)
+	if !reflect.DeepEqual(s1.Speculation, s2.Speculation) {
+		t.Fatalf("speculation lane differs across consumption orders:\n%+v\nvs\n%+v",
+			s1.Speculation, s2.Speculation)
+	}
+	sp := s1.Speculation
+	if sp == nil {
+		t.Fatal("speculation lane missing from summary")
+	}
+	if sp.Launched != 2 || sp.Won != 1 || sp.Cancelled != 1 || sp.Failed != 1 ||
+		sp.Promoted != 1 || sp.Retries != 2 || sp.BudgetExhausted != 1 {
+		t.Fatalf("speculation counters = %+v", sp)
+	}
+	if sp.WastedSeconds != 2.5 {
+		t.Fatalf("wasted seconds = %v, want 2.5", sp.WastedSeconds)
+	}
+	if sp.RetryRate != 2.0/10 {
+		t.Fatalf("retry rate = %v, want 0.2", sp.RetryRate)
+	}
+
+	// Runs with no speculation events leave the lane absent entirely.
+	a := NewAggregator(AggregatorOptions{})
+	a.IngestEvent(provenance.TopicExecutions, 0, exec("load-0001", "w0", 0, 1))
+	if s := a.Snapshot(); s.Speculation != nil {
+		t.Fatalf("speculation lane present without events: %+v", s.Speculation)
+	}
+}
+
+// TestStragglerDetectorAdvisor exercises the exported MAD-model advisor the
+// scheduler's speculation tick consults: quiet below the bar, flagging an
+// elapsed runtime far beyond the prefix's distribution, and never retracting
+// a verdict as elapsed grows.
+func TestStragglerDetectorAdvisor(t *testing.T) {
+	d := NewStragglerDetector(AnomalyConfig{})
+	// Too few samples: never a straggler.
+	for i := 0; i < 4; i++ {
+		d.Observe("work", 1.0)
+	}
+	if d.Straggler("work", 100) {
+		t.Fatal("flagged with too few samples")
+	}
+	for i := 0; i < 40; i++ {
+		d.Observe("work", 1.0+0.01*float64(i%5))
+	}
+	if d.Straggler("work", 1.05) {
+		t.Fatal("flagged a typical duration")
+	}
+	if !d.Straggler("work", 10) {
+		t.Fatal("did not flag a 10x runtime")
+	}
+	if d.Straggler("other", 10) {
+		t.Fatal("flagged a prefix never observed")
+	}
+	// Monotone in elapsed: once a straggler, always a straggler.
+	if !d.Straggler("work", 20) {
+		t.Fatal("verdict retracted as elapsed grew")
+	}
+}

@@ -1,0 +1,296 @@
+package mercury
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrRetryBudgetExhausted marks a call that failed because the shared per-run
+// retry budget drained: the retry layer refused to keep hammering a flapping
+// endpoint and surfaced the underlying failure cleanly instead.
+var ErrRetryBudgetExhausted = errors.New("mercury: retry budget exhausted")
+
+// RetryBudget is a shared, per-run allowance of retry attempts. Every
+// RetryCaller wired to the same budget draws from it, so a cluster-wide
+// brownout degrades to a bounded number of extra calls followed by clean
+// errors — never an unbounded retry storm.
+type RetryBudget struct {
+	mu        sync.Mutex
+	remaining int
+}
+
+// NewRetryBudget creates a budget of n retries (n <= 0 means no retries are
+// ever granted).
+func NewRetryBudget(n int) *RetryBudget {
+	if n < 0 {
+		n = 0
+	}
+	return &RetryBudget{remaining: n}
+}
+
+// take consumes one retry, reporting whether one was available.
+func (b *RetryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.remaining <= 0 {
+		return false
+	}
+	b.remaining--
+	return true
+}
+
+// Remaining reports how many retries are left.
+func (b *RetryBudget) Remaining() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining
+}
+
+// RetryPolicy tunes one destination's adaptive timeout and backoff. The zero
+// value is usable: every field falls back to the listed default.
+type RetryPolicy struct {
+	// EWMAAlpha is the exponential-moving-average weight of the newest
+	// latency sample (default 0.3).
+	EWMAAlpha float64
+	// TimeoutMult scales the EWMA latency into the per-call timeout
+	// (default 4): a destination that answers in ~10ms gets a ~40ms deadline
+	// instead of the transport's one-size-fits-all default.
+	TimeoutMult float64
+	// MinTimeout / MaxTimeout clamp the adaptive timeout (defaults 50ms and
+	// DefaultCallTimeout). Before the first sample the deadline starts at
+	// MaxTimeout — conservative until the destination's latency is known.
+	MinTimeout time.Duration
+	MaxTimeout time.Duration
+	// BaseBackoff is the wait before the first retry; it doubles per attempt
+	// up to MaxBackoff (defaults 10ms and 1s), scaled by deterministic
+	// jitter in [0.5, 1.5) drawn from a splitmix64 stream seeded by
+	// Seed and the destination address.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// MaxAttempts bounds the total tries per call, first included
+	// (default 4).
+	MaxAttempts int
+	// Seed keys the jitter stream so retry schedules reproduce per run.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.EWMAAlpha <= 0 || p.EWMAAlpha > 1 {
+		p.EWMAAlpha = 0.3
+	}
+	if p.TimeoutMult <= 1 {
+		p.TimeoutMult = 4
+	}
+	if p.MinTimeout <= 0 {
+		p.MinTimeout = 50 * time.Millisecond
+	}
+	if p.MaxTimeout <= 0 {
+		p.MaxTimeout = DefaultCallTimeout
+	}
+	if p.MinTimeout > p.MaxTimeout {
+		p.MinTimeout = p.MaxTimeout
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = time.Second
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	return p
+}
+
+// TimeoutSetter is implemented by transports whose per-call deadline can be
+// tuned (the TCP Client); the retry layer feeds its adaptive timeout through
+// it before each call.
+type TimeoutSetter interface{ SetTimeout(d time.Duration) }
+
+// RetryStats is a snapshot of a RetryCaller's cumulative activity.
+type RetryStats struct {
+	Calls        int64 // Call invocations
+	Retries      int64 // re-sent attempts (beyond each call's first)
+	Exhausted    int64 // calls that failed after MaxAttempts
+	BudgetDenied int64 // retries refused because the shared budget drained
+}
+
+// RetryCaller wraps a Caller to one destination with the adaptive-timeout,
+// capped-exponential-backoff retry policy that replaces one-shot transport
+// timeouts. Transport-level failures (timeouts, unreachable endpoints,
+// broken connections) are retried; handler failures (RemoteError) and
+// unknown-RPC errors are not — the handler ran, and re-running it could
+// duplicate side effects. Safe for concurrent use.
+type RetryCaller struct {
+	inner  Caller
+	addr   string
+	p      RetryPolicy
+	budget *RetryBudget
+
+	// Sleep waits out a backoff (default time.Sleep). Simulations inject a
+	// virtual-clock sleep; tests inject a recorder.
+	Sleep func(d time.Duration)
+	// OnRetry observes every re-sent attempt (attempt counts from 1); the
+	// session's retry observer turns these into speculation-topic provenance.
+	OnRetry func(addr, rpc string, attempt int, wait time.Duration, err error)
+	// OnExhausted observes a call giving up, either after MaxAttempts or —
+	// when err wraps ErrRetryBudgetExhausted — because the shared budget
+	// drained.
+	OnExhausted func(addr, rpc string, attempts int, err error)
+
+	mu    sync.Mutex
+	ewma  time.Duration
+	jit   uint64
+	stats RetryStats
+}
+
+// NewRetryCaller wraps inner (which sends to addr) with the retry policy,
+// drawing retries from budget (nil means attempts are bounded only by
+// MaxAttempts).
+func NewRetryCaller(inner Caller, addr string, p RetryPolicy, budget *RetryBudget) *RetryCaller {
+	p = p.withDefaults()
+	// Fold the address into the seed so every destination gets an
+	// independent, reproducible jitter stream.
+	seed := p.Seed ^ 0x9e3779b97f4a7c15
+	for _, c := range addr {
+		seed = (seed ^ uint64(c)) * 1099511628211
+	}
+	return &RetryCaller{inner: inner, addr: addr, p: p, budget: budget, jit: seed, Sleep: time.Sleep}
+}
+
+// Addr returns the destination address this caller retries against.
+func (rc *RetryCaller) Addr() string { return rc.addr }
+
+// Stats returns a snapshot of cumulative retry activity.
+func (rc *RetryCaller) Stats() RetryStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.stats
+}
+
+// Timeout reports the current adaptive per-call timeout.
+func (rc *RetryCaller) Timeout() time.Duration {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.timeoutLocked()
+}
+
+func (rc *RetryCaller) timeoutLocked() time.Duration {
+	if rc.ewma <= 0 {
+		return rc.p.MaxTimeout
+	}
+	d := time.Duration(float64(rc.ewma) * rc.p.TimeoutMult)
+	if d < rc.p.MinTimeout {
+		d = rc.p.MinTimeout
+	}
+	if d > rc.p.MaxTimeout {
+		d = rc.p.MaxTimeout
+	}
+	return d
+}
+
+// observe folds one successful call's latency into the EWMA.
+func (rc *RetryCaller) observe(sample time.Duration) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.ewma <= 0 {
+		rc.ewma = sample
+		return
+	}
+	a := rc.p.EWMAAlpha
+	rc.ewma = time.Duration(a*float64(sample) + (1-a)*float64(rc.ewma))
+}
+
+// splitmix64 advances the jitter stream.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// backoff computes the wait before retry number attempt (counting from 1):
+// capped exponential growth scaled by deterministic jitter in [0.5, 1.5).
+func (rc *RetryCaller) backoff(attempt int) time.Duration {
+	d := rc.p.BaseBackoff
+	for i := 1; i < attempt && d < rc.p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > rc.p.MaxBackoff {
+		d = rc.p.MaxBackoff
+	}
+	rc.mu.Lock()
+	j := 0.5 + float64(splitmix64(&rc.jit)>>11)/float64(uint64(1)<<53)
+	rc.mu.Unlock()
+	return time.Duration(float64(d) * j)
+}
+
+// retryable classifies an error: transport-level failures may be retried,
+// handler results may not.
+func retryable(err error) bool {
+	var rerr *RemoteError
+	if errors.As(err, &rerr) {
+		return false // the handler ran; retrying could duplicate effects
+	}
+	if errors.Is(err, ErrNoRPC) {
+		return false // the endpoint is up and does not speak this RPC
+	}
+	return true
+}
+
+// Call implements Caller: it issues the RPC with the adaptive timeout,
+// retrying transport failures under the backoff schedule until it succeeds,
+// attempts run out, or the shared retry budget drains.
+func (rc *RetryCaller) Call(rpc string, req []byte) ([]byte, error) {
+	rc.mu.Lock()
+	rc.stats.Calls++
+	timeout := rc.timeoutLocked()
+	rc.mu.Unlock()
+	if ts, ok := rc.inner.(TimeoutSetter); ok {
+		ts.SetTimeout(timeout)
+	}
+	for attempt := 1; ; attempt++ {
+		start := time.Now()
+		resp, err := rc.inner.Call(rpc, req)
+		if err == nil {
+			rc.observe(time.Since(start))
+			return resp, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		if attempt >= rc.p.MaxAttempts {
+			rc.mu.Lock()
+			rc.stats.Exhausted++
+			rc.mu.Unlock()
+			werr := fmt.Errorf("mercury: %s %q failed after %d attempts: %w", rc.addr, rpc, attempt, err)
+			if rc.OnExhausted != nil {
+				rc.OnExhausted(rc.addr, rpc, attempt, werr)
+			}
+			return nil, werr
+		}
+		if rc.budget != nil && !rc.budget.take() {
+			rc.mu.Lock()
+			rc.stats.BudgetDenied++
+			rc.mu.Unlock()
+			werr := fmt.Errorf("mercury: %s %q: %w after %d attempts: %w", rc.addr, rpc, ErrRetryBudgetExhausted, attempt, err)
+			if rc.OnExhausted != nil {
+				rc.OnExhausted(rc.addr, rpc, attempt, werr)
+			}
+			return nil, werr
+		}
+		wait := rc.backoff(attempt)
+		rc.mu.Lock()
+		rc.stats.Retries++
+		rc.mu.Unlock()
+		if rc.OnRetry != nil {
+			rc.OnRetry(rc.addr, rpc, attempt, wait, err)
+		}
+		if rc.Sleep != nil && wait > 0 {
+			rc.Sleep(wait)
+		}
+	}
+}

@@ -1,0 +1,351 @@
+package mercury
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedCaller returns a scripted error sequence, then succeeds. It also
+// records SetTimeout so tests can watch the adaptive deadline propagate.
+type scriptedCaller struct {
+	mu      sync.Mutex
+	errs    []error
+	calls   int
+	resp    []byte
+	timeout time.Duration
+}
+
+func (s *scriptedCaller) SetTimeout(d time.Duration) {
+	s.mu.Lock()
+	s.timeout = d
+	s.mu.Unlock()
+}
+
+func (s *scriptedCaller) Call(rpc string, req []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calls++
+	if len(s.errs) > 0 {
+		err := s.errs[0]
+		s.errs = s.errs[1:]
+		return nil, err
+	}
+	return s.resp, nil
+}
+
+// noSleep replaces real backoff waits in unit tests.
+func noSleep(rc *RetryCaller) *RetryCaller {
+	rc.Sleep = func(time.Duration) {}
+	return rc
+}
+
+func TestRetrySucceedsAfterTransientTimeouts(t *testing.T) {
+	sc := &scriptedCaller{
+		errs: []error{fmt.Errorf("%w: call x", ErrTimeout), fmt.Errorf("%w: call x", ErrTimeout)},
+		resp: []byte("ok"),
+	}
+	rc := noSleep(NewRetryCaller(sc, "node3", RetryPolicy{Seed: 7}, nil))
+	var retries []int
+	rc.OnRetry = func(addr, rpc string, attempt int, wait time.Duration, err error) {
+		if addr != "node3" || rpc != "x" {
+			t.Errorf("OnRetry addr/rpc = %q/%q", addr, rpc)
+		}
+		if wait <= 0 {
+			t.Errorf("OnRetry wait = %v, want > 0", wait)
+		}
+		retries = append(retries, attempt)
+	}
+	resp, err := rc.Call("x", []byte("req"))
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("Call = %q, %v", resp, err)
+	}
+	if sc.calls != 3 {
+		t.Fatalf("attempts = %d, want 3", sc.calls)
+	}
+	if len(retries) != 2 || retries[0] != 1 || retries[1] != 2 {
+		t.Fatalf("OnRetry attempts = %v, want [1 2]", retries)
+	}
+	st := rc.Stats()
+	if st.Calls != 1 || st.Retries != 2 || st.Exhausted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryRemoteErrorIsTerminal(t *testing.T) {
+	sc := &scriptedCaller{errs: []error{&RemoteError{Msg: "handler says no"}}}
+	rc := noSleep(NewRetryCaller(sc, "node1", RetryPolicy{}, nil))
+	_, err := rc.Call("x", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RemoteError", err)
+	}
+	if sc.calls != 1 {
+		t.Fatalf("attempts = %d, want 1 (handler errors must not be retried)", sc.calls)
+	}
+}
+
+func TestRetryUnknownRPCIsTerminal(t *testing.T) {
+	sc := &scriptedCaller{errs: []error{fmt.Errorf("%w: %q", ErrNoRPC, "x")}}
+	rc := noSleep(NewRetryCaller(sc, "node1", RetryPolicy{}, nil))
+	_, err := rc.Call("x", nil)
+	if !errors.Is(err, ErrNoRPC) {
+		t.Fatalf("err = %v, want ErrNoRPC", err)
+	}
+	if sc.calls != 1 {
+		t.Fatalf("attempts = %d, want 1", sc.calls)
+	}
+}
+
+func TestRetryAttemptsExhausted(t *testing.T) {
+	timeouts := make([]error, 10)
+	for i := range timeouts {
+		timeouts[i] = fmt.Errorf("%w: wedged", ErrTimeout)
+	}
+	sc := &scriptedCaller{errs: timeouts}
+	rc := noSleep(NewRetryCaller(sc, "node2", RetryPolicy{MaxAttempts: 3}, nil))
+	var exhausted int
+	rc.OnExhausted = func(addr, rpc string, attempts int, err error) {
+		exhausted++
+		if attempts != 3 {
+			t.Errorf("OnExhausted attempts = %d, want 3", attempts)
+		}
+		if errors.Is(err, ErrRetryBudgetExhausted) {
+			t.Error("attempt exhaustion misreported as budget exhaustion")
+		}
+	}
+	_, err := rc.Call("x", nil)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want wrapped ErrTimeout", err)
+	}
+	if sc.calls != 3 {
+		t.Fatalf("attempts = %d, want 3", sc.calls)
+	}
+	if exhausted != 1 {
+		t.Fatalf("OnExhausted fired %d times", exhausted)
+	}
+	if st := rc.Stats(); st.Exhausted != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetryBudgetSharedAndBounding(t *testing.T) {
+	// Two flapping destinations share a 3-retry budget: total extra attempts
+	// across both must be exactly 3, and the over-budget call fails with the
+	// budget sentinel wrapped around the underlying transport error.
+	mk := func() *scriptedCaller {
+		errs := make([]error, 100)
+		for i := range errs {
+			errs[i] = fmt.Errorf("%w: brownout", ErrTimeout)
+		}
+		return &scriptedCaller{errs: errs}
+	}
+	budget := NewRetryBudget(3)
+	a, b := mk(), mk()
+	rcA := noSleep(NewRetryCaller(a, "nodeA", RetryPolicy{MaxAttempts: 10}, budget))
+	rcB := noSleep(NewRetryCaller(b, "nodeB", RetryPolicy{MaxAttempts: 10}, budget))
+	_, errA := rcA.Call("x", nil)
+	_, errB := rcB.Call("x", nil)
+	if !errors.Is(errA, ErrRetryBudgetExhausted) && !errors.Is(errB, ErrRetryBudgetExhausted) {
+		t.Fatalf("neither call reported budget exhaustion: %v / %v", errA, errB)
+	}
+	if !errors.Is(errA, ErrTimeout) && !errors.Is(errB, ErrTimeout) {
+		// The first caller drains the budget and still surfaces its timeout.
+		t.Fatalf("underlying timeout not surfaced: %v / %v", errA, errB)
+	}
+	totalRetries := (a.calls - 1) + (b.calls - 1)
+	if totalRetries != 3 {
+		t.Fatalf("total retries = %d, want exactly the budget (3)", totalRetries)
+	}
+	if budget.Remaining() != 0 {
+		t.Fatalf("budget remaining = %d, want 0", budget.Remaining())
+	}
+	if st := rcB.Stats(); st.BudgetDenied != 1 {
+		t.Fatalf("rcB stats = %+v, want BudgetDenied = 1", st)
+	}
+}
+
+func TestRetryBackoffDeterministicPerSeedAndAddr(t *testing.T) {
+	seq := func(seed uint64, addr string) []time.Duration {
+		errs := make([]error, 5)
+		for i := range errs {
+			errs[i] = fmt.Errorf("%w: x", ErrTimeout)
+		}
+		sc := &scriptedCaller{errs: errs}
+		rc := NewRetryCaller(sc, addr, RetryPolicy{Seed: seed, MaxAttempts: 6}, nil)
+		var waits []time.Duration
+		rc.Sleep = func(d time.Duration) { waits = append(waits, d) }
+		if _, err := rc.Call("x", nil); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+		return waits
+	}
+	a1, a2 := seq(42, "node1"), seq(42, "node1")
+	if len(a1) != 5 {
+		t.Fatalf("waits = %v, want 5 entries", a1)
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed+addr diverged: %v vs %v", a1, a2)
+		}
+	}
+	b := seq(42, "node2")
+	same := true
+	for i := range a1 {
+		if a1[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different addrs produced identical jitter streams")
+	}
+	// Backoff grows (modulo jitter in [0.5,1.5), doubling dominates) and
+	// stays within [0.5*base, 1.5*max].
+	p := RetryPolicy{}.withDefaults()
+	for i, w := range a1 {
+		lo := time.Duration(0.5 * float64(p.BaseBackoff))
+		hi := time.Duration(1.5 * float64(p.MaxBackoff))
+		if w < lo || w > hi {
+			t.Fatalf("wait[%d] = %v outside [%v, %v]", i, w, lo, hi)
+		}
+	}
+}
+
+func TestRetryAdaptiveTimeoutClampsAndPropagates(t *testing.T) {
+	sc := &scriptedCaller{resp: []byte("ok")}
+	rc := noSleep(NewRetryCaller(sc, "node1", RetryPolicy{
+		MinTimeout: 20 * time.Millisecond,
+		MaxTimeout: 300 * time.Millisecond,
+	}, nil))
+	// No samples yet: conservative start at MaxTimeout, pushed to the
+	// transport before the first attempt.
+	if got := rc.Timeout(); got != 300*time.Millisecond {
+		t.Fatalf("initial timeout = %v, want MaxTimeout", got)
+	}
+	if _, err := rc.Call("x", nil); err != nil {
+		t.Fatal(err)
+	}
+	sc.mu.Lock()
+	pushed := sc.timeout
+	sc.mu.Unlock()
+	if pushed != 300*time.Millisecond {
+		t.Fatalf("SetTimeout received %v, want 300ms", pushed)
+	}
+	// The scripted call returns in ~microseconds, so EWMA*mult clamps to
+	// the floor.
+	if got := rc.Timeout(); got != 20*time.Millisecond {
+		t.Fatalf("post-sample timeout = %v, want MinTimeout", got)
+	}
+}
+
+// waitGoroutines polls until the goroutine count settles back near base,
+// failing the test if leaked goroutines persist.
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > %d\n%s", runtime.NumGoroutine(), base, buf[:n])
+}
+
+// TestRetryConcurrentTimeoutsNoLeaks drives a real TCP server with a mix of
+// wedged and healthy RPCs from concurrent retrying clients: every healthy
+// call must succeed, every wedged call must fail cleanly with a timeout
+// within its attempt bound, late replies from abandoned connections must
+// never be delivered to a different call, and no goroutine may outlive the
+// teardown.
+func TestRetryConcurrentTimeoutsNoLeaks(t *testing.T) {
+	base := runtime.NumGoroutine()
+	release := make(chan struct{})
+	ep := NewEndpoint("tcp-svc")
+	ep.Register("wedge", func(req []byte) ([]byte, error) {
+		<-release
+		return []byte("stale"), nil
+	})
+	ep.Register("echo", func(req []byte) ([]byte, error) { return req, nil })
+	srv, err := Serve(ep, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	policy := RetryPolicy{
+		MinTimeout:  40 * time.Millisecond,
+		MaxTimeout:  40 * time.Millisecond,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+		MaxAttempts: 2,
+		Seed:        1,
+	}
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n*4)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		cli, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = cli
+	}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rc := NewRetryCaller(clients[i], srv.Addr(), policy, nil)
+			if i%2 == 0 {
+				// Healthy path: every echo must round-trip its own payload.
+				for j := 0; j < 20; j++ {
+					msg := []byte(fmt.Sprintf("g%d-m%d", i, j))
+					resp, err := rc.Call("echo", msg)
+					if err != nil {
+						errs <- fmt.Errorf("echo: %w", err)
+						return
+					}
+					if !bytes.Equal(resp, msg) {
+						errs <- fmt.Errorf("echo mismatch: %q vs %q", resp, msg)
+						return
+					}
+				}
+				return
+			}
+			// Wedged path: the call times out, retries once, then fails
+			// cleanly — and the connection that eventually carries the
+			// stale reply has been abandoned.
+			if _, err := rc.Call("wedge", nil); !errors.Is(err, ErrTimeout) {
+				errs <- fmt.Errorf("wedge err = %v, want ErrTimeout", err)
+				return
+			}
+			if st := rc.Stats(); st.Retries != 1 || st.Exhausted != 1 {
+				errs <- fmt.Errorf("wedge stats = %+v, want 1 retry + 1 exhaustion", st)
+				return
+			}
+			// A follow-up call on the same client must redial and get the
+			// correct fresh reply, never the wedged handler's stale one.
+			resp, err := rc.Call("echo", []byte("fresh"))
+			if err != nil || !bytes.Equal(resp, []byte("fresh")) {
+				errs <- fmt.Errorf("post-timeout echo = %q, %v (stale reply delivered?)", resp, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	close(release)
+	for _, cli := range clients {
+		cli.Close()
+	}
+	srv.Close()
+	waitGoroutines(t, base)
+}

@@ -97,6 +97,12 @@ type Cluster struct {
 	nodes  []*Node
 	lat    *sim.RNG
 	bw     *sim.RNG
+
+	// linkFactor holds per-directed-link service-time multipliers installed
+	// by fault injection: a factor f > 1 on (src, dst) makes every transfer
+	// on that link take f times longer (degraded cable, congested uplink —
+	// the gray-failure analogue of a kill). Factor 1 entries are removed.
+	linkFactor map[[2]int]float64
 }
 
 // New builds a cluster on kernel k. Node-to-switch placement and per-node
@@ -155,6 +161,32 @@ func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
 // SameNode reports whether two nodes are the same physical node.
 func SameNode(a, b *Node) bool { return a == b }
 
+// SetLinkFactor installs (or, with factor <= 1, clears) a service-time
+// multiplier on the directed link src → dst. Transfers on a degraded link
+// pay factor times the latency and move factor times the effective bytes,
+// modeling a browned-out cable or congested switch uplink. Node IDs are
+// validated by the caller (chaos arms these from a parsed plan).
+func (c *Cluster) SetLinkFactor(src, dst int, factor float64) {
+	key := [2]int{src, dst}
+	if factor <= 1 {
+		delete(c.linkFactor, key)
+		return
+	}
+	if c.linkFactor == nil {
+		c.linkFactor = make(map[[2]int]float64)
+	}
+	c.linkFactor[key] = factor
+}
+
+// LinkFactor reports the current multiplier on the directed link src → dst
+// (1 when undegraded).
+func (c *Cluster) LinkFactor(src, dst int) float64 {
+	if f, ok := c.linkFactor[[2]int{src, dst}]; ok {
+		return f
+	}
+	return 1
+}
+
 // latency samples the one-way message latency between two nodes.
 func (c *Cluster) latency(from, to *Node) sim.Time {
 	var base sim.Time
@@ -185,6 +217,10 @@ func (c *Cluster) Transfer(from, to *Node, size int64, done func(elapsed sim.Tim
 	if c.cfg.BandwidthCV > 0 && bytes > 0 {
 		// Jitter the effective transfer by inflating the work.
 		bytes = c.bw.LogNormalMean(bytes, c.cfg.BandwidthCV)
+	}
+	if f := c.LinkFactor(from.ID, to.ID); f > 1 {
+		lat = sim.Time(float64(lat) * f)
+		bytes *= f
 	}
 	c.kernel.After(lat, func() {
 		server.Submit(bytes, func() {

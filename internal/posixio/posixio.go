@@ -64,6 +64,27 @@ type File struct {
 	tracer Tracer
 	offset int64
 	closed bool
+	dilate func() float64
+}
+
+// SetDilation installs a service-time dilation source for this descriptor:
+// after each blocking read or write, the issuing process sleeps an extra
+// (factor−1) times the operation's elapsed time, where factor is sampled at
+// completion. Brownout fault injection uses this to model a slow-not-dead
+// worker whose I/O crawls; the stretched window is what the tracer records,
+// so Darshan-side views see the degradation too. A nil or ≤1 factor is free.
+func (f *File) SetDilation(fn func() float64) { f.dilate = fn }
+
+// dilated stretches the just-finished operation that started at start by the
+// descriptor's dilation factor, returning once the extra service time has
+// elapsed.
+func (f *File) dilated(p *sim.Proc, start sim.Time) {
+	if f.dilate == nil {
+		return
+	}
+	if factor := f.dilate(); factor > 1 {
+		p.Sleep(sim.Time(float64(p.Now()-start) * (factor - 1)))
+	}
 }
 
 // Open opens path with the given flags from process p, on behalf of thread
@@ -110,6 +131,7 @@ func (f *File) Pread(p *sim.Proc, off, size int64) int64 {
 	p.Await(func(done func()) {
 		f.fs.pfs.Read(f.file, off, size, func(got int64) { n = got; done() })
 	})
+	f.dilated(p, start)
 	if f.tracer != nil {
 		f.tracer.ReadEvent(OpRecord{Path: f.path, TID: f.tid, Offset: off, Bytes: n, Start: start, End: p.Now()})
 	}
@@ -124,6 +146,7 @@ func (f *File) Pwrite(p *sim.Proc, off, size int64) int64 {
 	p.Await(func(done func()) {
 		f.fs.pfs.Write(f.file, off, size, func(got int64) { n = got; done() })
 	})
+	f.dilated(p, start)
 	if f.tracer != nil {
 		f.tracer.WriteEvent(OpRecord{Path: f.path, TID: f.tid, Offset: off, Bytes: n, Start: start, End: p.Now()})
 	}

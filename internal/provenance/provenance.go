@@ -34,6 +34,11 @@ const (
 	// misses on dangling references, frees, and crash reclaims.
 	TopicProxy = "proxy-store"
 
+	// TopicSpeculation carries hedged-execution and adaptive-retry decisions:
+	// duplicate launches, first-completion wins, loser cancellations (with
+	// wasted seconds), promotions, RPC retries, and retry-budget exhaustion.
+	TopicSpeculation = "speculation"
+
 	// TopicAnomalies carries the live monitor's online findings back into
 	// the event space, so anomalies are themselves provenance (see
 	// internal/live).
@@ -47,6 +52,7 @@ func AllTopics() []string {
 	return []string{
 		TopicTaskMeta, TopicTransitions, TopicExecutions, TopicTransfers,
 		TopicWarnings, TopicHeartbeats, TopicSteals, TopicGraphs, TopicProxy,
+		TopicSpeculation,
 	}
 }
 
@@ -137,6 +143,35 @@ func StealEventMeta(s dask.StealEvent) mofka.Metadata {
 	return mofka.Metadata{
 		"key": string(s.Key), "victim": s.Victim, "thief": s.Thief, "at": seconds(s.At),
 	}
+}
+
+// SpeculationEventMeta encodes a SpeculationEvent as Mofka event metadata.
+// Optional dimensions ride along only when set, so retry records stay small
+// and the stream layout is stable per event kind.
+func SpeculationEventMeta(e dask.SpeculationEvent) mofka.Metadata {
+	m := mofka.Metadata{"kind": e.Kind, "at": seconds(e.At)}
+	if e.Key != "" {
+		m["key"] = string(e.Key)
+	}
+	if e.Primary != "" {
+		m["primary"] = e.Primary
+	}
+	if e.Duplicate != "" {
+		m["duplicate"] = e.Duplicate
+	}
+	if e.Winner != "" {
+		m["winner"] = e.Winner
+	}
+	if e.Wasted != 0 {
+		m["wasted"] = seconds(e.Wasted)
+	}
+	if e.Attempt != 0 {
+		m["attempt"] = e.Attempt
+	}
+	if e.Detail != "" {
+		m["detail"] = e.Detail
+	}
+	return m
 }
 
 // GraphDoneEvent encodes a graph completion as Mofka event metadata.
@@ -286,6 +321,21 @@ func ParseSteal(m mofka.Metadata) dask.StealEvent {
 		Victim: Str(m, "victim"),
 		Thief:  Str(m, "thief"),
 		At:     sim.Seconds(Num(m, "at")),
+	}
+}
+
+// ParseSpeculationEvent decodes metadata written by SpeculationEventMeta.
+func ParseSpeculationEvent(m mofka.Metadata) dask.SpeculationEvent {
+	return dask.SpeculationEvent{
+		Kind:      Str(m, "kind"),
+		Key:       dask.TaskKey(Str(m, "key")),
+		Primary:   Str(m, "primary"),
+		Duplicate: Str(m, "duplicate"),
+		Winner:    Str(m, "winner"),
+		Wasted:    sim.Seconds(Num(m, "wasted")),
+		Attempt:   int(Num(m, "attempt")),
+		Detail:    Str(m, "detail"),
+		At:        sim.Seconds(Num(m, "at")),
 	}
 }
 

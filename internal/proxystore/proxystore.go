@@ -103,6 +103,19 @@ func (s *Store) Publish(key string, owner, incarnation int, size int64) (r Ref, 
 	return ref, replaced
 }
 
+// Lookup inspects key's blob without touching the hit/miss counters (the
+// fencing checks of speculative execution must not distort resolve
+// statistics). Returns the blob's ref and whether one exists.
+func (s *Store) Lookup(key string) (Ref, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[key]
+	if !ok {
+		return Ref{}, false
+	}
+	return b.ref, true
+}
+
 // Resolve looks a reference up by key, counting a hit or a miss. A miss
 // means the blob was reclaimed (its owner died) or never published.
 func (s *Store) Resolve(key string) (Ref, bool) {
